@@ -1,0 +1,50 @@
+// Command flatflash-bench regenerates the tables and figures of the
+// FlatFlash paper's evaluation on the simulator.
+//
+// Usage:
+//
+//	flatflash-bench [-quick] [experiment ...]
+//	flatflash-bench -list
+//
+// With no experiment arguments it runs everything in paper order. Use
+// -quick for a fast pass with reduced sizes (same shapes, more noise).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flatflash/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run with reduced sizes (faster, noisier)")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, d := range experiments.Describe() {
+			fmt.Println(d)
+		}
+		return
+	}
+	scale := experiments.Full
+	if *quick {
+		scale = experiments.Quick
+	}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		if err := experiments.RunAll(os.Stdout, scale); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, id := range ids {
+		if err := experiments.Run(os.Stdout, id, scale); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

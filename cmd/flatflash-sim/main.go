@@ -1,0 +1,128 @@
+// Command flatflash-sim runs a custom workload against one of the three
+// hierarchies and prints a latency histogram plus system counters. It can
+// generate synthetic access patterns, record them to a trace file, and
+// replay saved traces, making one-off what-if studies easy:
+//
+//	flatflash-sim -kind flatflash -pattern zipf -ops 50000 -wss 16MB
+//	flatflash-sim -kind unifiedmmap -replay hot.trace
+//	flatflash-sim -pattern rand -record rand.trace -ops 10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"flatflash/internal/core"
+	"flatflash/internal/trace"
+)
+
+func main() {
+	var (
+		kind      = flag.String("kind", "flatflash", "hierarchy: flatflash | unifiedmmap | traditional")
+		ssd       = flag.String("ssd", "256MB", "SSD capacity")
+		dram      = flag.String("dram", "4MB", "host DRAM")
+		wss       = flag.String("wss", "32MB", "working-set (mapped region) size")
+		pattern   = flag.String("pattern", "zipf", "access pattern: seq | rand | zipf | stride")
+		ops       = flag.Int("ops", 20000, "number of accesses")
+		size      = flag.Int("size", 64, "bytes per access")
+		writeFrac = flag.Float64("writes", 0.05, "fraction of accesses that are writes")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		record    = flag.String("record", "", "write the generated trace to this file")
+		replay    = flag.String("replay", "", "replay a trace file instead of generating")
+	)
+	flag.Parse()
+
+	ssdB, err := parseSize(*ssd)
+	check(err)
+	dramB, err := parseSize(*dram)
+	check(err)
+	wssB, err := parseSize(*wss)
+	check(err)
+
+	cfg := core.DefaultConfig(ssdB, dramB)
+	var h core.Hierarchy
+	switch strings.ToLower(*kind) {
+	case "flatflash", "ff":
+		h, err = core.NewFlatFlash(cfg)
+	case "unifiedmmap", "um":
+		h, err = core.NewUnifiedMMap(cfg)
+	case "traditional", "traditionalstack", "ts":
+		h, err = core.NewTraditionalStack(cfg)
+	default:
+		check(fmt.Errorf("unknown kind %q", *kind))
+	}
+	check(err)
+
+	var t trace.Trace
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		check(err)
+		t, err = trace.Parse(f)
+		f.Close()
+		check(err)
+	} else {
+		t, err = trace.Generate(trace.GenConfig{
+			Pattern:    trace.Pattern(*pattern),
+			Ops:        *ops,
+			AccessSize: *size,
+			Extent:     wssB,
+			WriteFrac:  *writeFrac,
+			Seed:       *seed,
+		})
+		check(err)
+	}
+	if *record != "" {
+		f, err := os.Create(*record)
+		check(err)
+		_, err = t.WriteTo(f)
+		check(err)
+		check(f.Close())
+		fmt.Printf("recorded %d ops to %s\n", len(t), *record)
+	}
+
+	region, err := h.Mmap(wssB)
+	check(err)
+	res, err := trace.Replay(h, region, t)
+	check(err)
+
+	fmt.Printf("system=%s ops=%d elapsed=%v\n", h.Name(), res.Ops, res.Elapsed)
+	fmt.Printf("latency: mean=%v p50=%v p90=%v p99=%v p99.9=%v max=%v\n",
+		res.Hist.Mean(), res.Hist.Percentile(50), res.Hist.Percentile(90),
+		res.Hist.Percentile(99), res.Hist.Percentile(99.9), res.Hist.Max())
+	c := h.Counters()
+	fmt.Println("counters:")
+	for _, name := range c.Names() {
+		fmt.Printf("  %-26s %d\n", name, c.Get(name))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flatflash-sim:", err)
+		os.Exit(1)
+	}
+}
+
+// parseSize parses "64", "64KB", "4MB", "1GB".
+func parseSize(s string) (uint64, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := uint64(1)
+	switch {
+	case strings.HasSuffix(s, "GB"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "GB")
+	case strings.HasSuffix(s, "MB"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "MB")
+	case strings.HasSuffix(s, "KB"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "KB")
+	case strings.HasSuffix(s, "B"):
+		s = strings.TrimSuffix(s, "B")
+	}
+	n, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}

@@ -1,0 +1,40 @@
+// Package flatflash is a from-scratch reproduction of FlatFlash (Abulila et
+// al., ASPLOS 2019): a unified memory-storage hierarchy that maps a
+// byte-addressable SSD directly into the host address space, serves CPU
+// loads/stores to it in cache-line granularity over PCIe MMIO, adaptively
+// promotes hot pages to host DRAM off the critical path through a Promotion
+// Look-aside Buffer, and exposes byte-granular data persistence backed by
+// the SSD's battery-backed internal DRAM.
+//
+// The package provides a deterministic virtual-time simulator of the whole
+// stack — NAND flash, FTL with garbage collection, the SSD-internal RRIP
+// cache, the PCIe link, host DRAM, and a unified page table with TLB — so
+// that the paper's behaviour (latencies, page movements, I/O traffic, write
+// amplification, crash consistency) can be studied and reproduced on any
+// machine. Data is functionally stored and moved: reads always return the
+// bytes written, across promotion, eviction, garbage collection, and
+// simulated power failure.
+//
+// # Quick start
+//
+//	sys, err := flatflash.New(flatflash.Config{
+//		SSDBytes:  512 << 20, // 512 MB simulated SSD
+//		DRAMBytes: 16 << 20,  // 16 MB host DRAM
+//	})
+//	if err != nil { ... }
+//	mem, err := sys.Mmap(64 << 20)
+//	if err != nil { ... }
+//	lat, err := mem.WriteAt([]byte("hello"), 0)   // posted MMIO store
+//	lat, err = mem.ReadAt(buf, 0)                 // byte-granular load
+//
+// Persistent regions give crash-consistent byte-granular durability:
+//
+//	log, _ := sys.MmapPersistent(1 << 20)
+//	log.WriteAt(record, off)
+//	log.Persist(off, len(record)) // flush + write-verify read barrier
+//
+// The three hierarchies the paper compares — FlatFlash, UnifiedMMap
+// (FlashMap-style paging with unified translation), and TraditionalStack
+// (paging through the block storage stack) — are selected with Config.Kind,
+// so applications and benchmarks can run unmodified against each.
+package flatflash

@@ -1,0 +1,175 @@
+package flatflash
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func newSys(t *testing.T, kind Kind) *System {
+	t.Helper()
+	s, err := New(Config{SSDBytes: 8 << 20, DRAMBytes: 512 << 10, Kind: kind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	if _, err := New(Config{SSDBytes: 1 << 20}); err == nil {
+		t.Fatal("missing DRAM accepted")
+	}
+	if _, err := New(Config{SSDBytes: 1 << 20, DRAMBytes: 1 << 20, Kind: Kind(99)}); err == nil {
+		t.Fatal("bogus kind accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindFlatFlash.String() != "FlatFlash" ||
+		KindUnifiedMMap.String() != "UnifiedMMap" ||
+		KindTraditionalStack.String() != "TraditionalStack" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(42).String() == "" {
+		t.Fatal("unknown kind has no name")
+	}
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	for _, k := range []Kind{KindFlatFlash, KindUnifiedMMap, KindTraditionalStack} {
+		s := newSys(t, k)
+		if s.Kind() != k {
+			t.Fatalf("kind = %v", s.Kind())
+		}
+		mem, err := s.Mmap(1 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mem.Size() != 1<<20 {
+			t.Fatalf("size = %d", mem.Size())
+		}
+		want := []byte("unified memory-storage hierarchy")
+		if _, err := mem.WriteAt(want, 777); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(want))
+		lat, err := mem.ReadAt(got, 777)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%v: round trip failed", k)
+		}
+		if lat <= 0 {
+			t.Fatalf("%v: zero read latency", k)
+		}
+		if s.Elapsed() <= 0 {
+			t.Fatalf("%v: clock did not advance", k)
+		}
+	}
+}
+
+func TestRegionBounds(t *testing.T) {
+	s := newSys(t, KindFlatFlash)
+	mem, _ := s.Mmap(4096)
+	buf := make([]byte, 16)
+	if _, err := mem.ReadAt(buf, -1); err != ErrOutOfRange {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := mem.ReadAt(buf, 4090); err != ErrOutOfRange {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := mem.WriteAt(buf, 1<<40); err != ErrOutOfRange {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := mem.Persist(-3, 4); err != ErrOutOfRange {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := mem.Sync(-1, 1); err != ErrOutOfRange {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPersistentRegionSurvivesCrash(t *testing.T) {
+	s := newSys(t, KindFlatFlash)
+	pm, err := s.MmapPersistent(64 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := []byte("commit-record-42")
+	pm.WriteAt(rec, 4000)
+	if _, err := pm.Persist(4000, len(rec)); err != nil {
+		t.Fatal(err)
+	}
+	s.Crash()
+	if _, err := pm.ReadAt(make([]byte, 1), 0); err != ErrCrashed {
+		t.Fatalf("read while crashed: %v", err)
+	}
+	s.Recover()
+	got := make([]byte, len(rec))
+	pm.ReadAt(got, 4000)
+	if !bytes.Equal(got, rec) {
+		t.Fatal("persisted record lost")
+	}
+}
+
+func TestPersistOnNormalRegionFails(t *testing.T) {
+	s := newSys(t, KindFlatFlash)
+	mem, _ := s.Mmap(64 << 10)
+	if _, err := mem.Persist(0, 64); err != ErrNotPersistent {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestIdleCompletesPromotions(t *testing.T) {
+	s := newSys(t, KindFlatFlash)
+	mem, _ := s.Mmap(1 << 20)
+	buf := make([]byte, 8)
+	for i := 0; i < 30; i++ {
+		mem.ReadAt(buf, int64(i%8)*64)
+	}
+	s.Idle(time.Millisecond)
+	st := s.Stats()
+	if st["promotions"] == 0 {
+		t.Fatal("no promotion on hot page")
+	}
+	if st["promotion_completions"] == 0 {
+		t.Fatal("Idle did not complete the promotion")
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	s := newSys(t, KindFlatFlash)
+	mem, _ := s.Mmap(64 << 10)
+	mem.WriteAt([]byte{1}, 0)
+	st := s.Stats()
+	if st["pcie_mmio_writes"] == 0 {
+		t.Fatal("stats missing MMIO writes")
+	}
+}
+
+func TestAblationConfigsBuild(t *testing.T) {
+	for _, cfg := range []Config{
+		{SSDBytes: 4 << 20, DRAMBytes: 256 << 10, DisableAdaptivePromotion: true},
+		{SSDBytes: 4 << 20, DRAMBytes: 256 << 10, DisablePLB: true},
+		{SSDBytes: 4 << 20, DRAMBytes: 256 << 10, LRUSSDCache: true},
+		{SSDBytes: 4 << 20, DRAMBytes: 256 << 10, NoBattery: true},
+		{SSDBytes: 4 << 20, DRAMBytes: 256 << 10, FlashLatency: 5 * time.Microsecond},
+		{SSDBytes: 4 << 20, DRAMBytes: 256 << 10, SSDCacheFraction: 0.01},
+	} {
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		mem, _ := s.Mmap(64 << 10)
+		mem.WriteAt([]byte{9}, 5)
+		got := make([]byte, 1)
+		mem.ReadAt(got, 5)
+		if got[0] != 9 {
+			t.Fatalf("%+v: round trip failed", cfg)
+		}
+	}
+}

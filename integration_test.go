@@ -1,0 +1,198 @@
+package flatflash
+
+// End-to-end scenarios through the public API: the workflows a library
+// consumer composes (allocation patterns, persistence protocols, crash
+// drills, ablation configs), each exercising several subsystems together.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+)
+
+// A full application lifecycle: load a dataset, develop a hot set, survive
+// a crash, and keep working afterwards.
+func TestLifecycleScenario(t *testing.T) {
+	sys, err := New(Config{SSDBytes: 64 << 20, DRAMBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := sys.Mmap(8 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal, err := sys.MmapPersistent(256 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Load 1024 records of 512 bytes, journaling each durably.
+	rec := make([]byte, 512)
+	for i := 0; i < 1024; i++ {
+		binary.LittleEndian.PutUint64(rec, uint64(i)|1<<40)
+		if _, err := data.WriteAt(rec, int64(i)*512); err != nil {
+			t.Fatal(err)
+		}
+		var j [16]byte
+		binary.LittleEndian.PutUint64(j[:], uint64(i))
+		journal.WriteAt(j[:], int64(i%1000)*16)
+		if _, err := journal.Persist(int64(i%1000)*16, 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Develop a hot set; promotions should kick in.
+	buf := make([]byte, 512)
+	for round := 0; round < 30; round++ {
+		for i := 0; i < 8; i++ {
+			data.ReadAt(buf, int64(i)*512)
+		}
+		sys.Idle(20 * time.Microsecond)
+	}
+	sys.Idle(time.Millisecond)
+	if sys.Stats()["promotions"] == 0 {
+		t.Fatal("hot set never promoted")
+	}
+
+	// Crash in the middle of everything; journal must be intact and data
+	// must remain readable (possibly reverting un-persisted tail writes).
+	sys.Crash()
+	sys.Recover()
+	var j [16]byte
+	journal.ReadAt(j[:], 0)
+	if binary.LittleEndian.Uint64(j[:]) != 1000 { // last write to slot 0
+		t.Fatalf("journal slot 0 = %d", binary.LittleEndian.Uint64(j[:]))
+	}
+
+	// The system keeps working after recovery.
+	data.WriteAt([]byte("post-crash write"), 0)
+	got := make([]byte, 16)
+	data.ReadAt(got, 0)
+	if !bytes.Equal(got, []byte("post-crash write")) {
+		t.Fatal("post-recovery write failed")
+	}
+}
+
+// The three systems expose identical functional semantics; only timing and
+// movement counters differ.
+func TestSystemsAgreeFunctionally(t *testing.T) {
+	mk := func(k Kind) (*System, *Region) {
+		sys, err := New(Config{SSDBytes: 16 << 20, DRAMBytes: 256 << 10, Kind: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem, err := sys.Mmap(2 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys, mem
+	}
+	var images [3][]byte
+	for i, k := range []Kind{KindFlatFlash, KindUnifiedMMap, KindTraditionalStack} {
+		_, mem := mk(k)
+		// The same deterministic write pattern...
+		for j := 0; j < 500; j++ {
+			off := int64(j*8191) % (2<<20 - 64)
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], uint64(j))
+			mem.WriteAt(b[:], off)
+		}
+		// ...read back as one image.
+		img := make([]byte, 2<<20)
+		if _, err := mem.ReadAt(img, 0); err != nil {
+			t.Fatal(err)
+		}
+		images[i] = img
+	}
+	if !bytes.Equal(images[0], images[1]) || !bytes.Equal(images[1], images[2]) {
+		t.Fatal("the three systems diverged functionally")
+	}
+}
+
+// Coherent host caching (CAPI extension) through the public API.
+func TestCoherentCachePublicAPI(t *testing.T) {
+	sys, err := New(Config{
+		SSDBytes: 16 << 20, DRAMBytes: 256 << 10,
+		CoherentHostCacheLines: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, _ := sys.Mmap(1 << 20)
+	buf := make([]byte, 8)
+	mem.ReadAt(buf, 4096) // fill
+	lat, _ := mem.ReadAt(buf, 4096+8)
+	if lat > time.Microsecond {
+		t.Fatalf("coherent re-read took %v", lat)
+	}
+	if sys.Stats()["hostcache_hits"] == 0 {
+		t.Fatal("no host-cache hits recorded")
+	}
+}
+
+// Torture: interleave every public operation and verify against a shadow.
+func TestPublicAPITorture(t *testing.T) {
+	sys, err := New(Config{SSDBytes: 32 << 20, DRAMBytes: 512 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, _ := sys.Mmap(1 << 20)
+	pm, _ := sys.MmapPersistent(256 << 10)
+	shadow := make([]byte, 1<<20)
+	pshadow := make([]byte, 256<<10)
+
+	seed := uint64(12345)
+	next := func(n uint64) uint64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return (seed >> 17) % n
+	}
+	for op := 0; op < 3000; op++ {
+		switch next(6) {
+		case 0:
+			off := int64(next(1<<20 - 300))
+			n := int(next(256)) + 1
+			b := make([]byte, n)
+			for i := range b {
+				b[i] = byte(next(256))
+			}
+			mem.WriteAt(b, off)
+			copy(shadow[off:], b)
+		case 1:
+			off := int64(next(1<<20 - 300))
+			n := int(next(256)) + 1
+			got := make([]byte, n)
+			mem.ReadAt(got, off)
+			if !bytes.Equal(got, shadow[off:off+int64(n)]) {
+				t.Fatalf("op %d: main region mismatch at %d", op, off)
+			}
+		case 2:
+			off := int64(next(256<<10 - 200))
+			n := int(next(128)) + 1
+			b := make([]byte, n)
+			for i := range b {
+				b[i] = byte(next(256))
+			}
+			pm.WriteAt(b, off)
+			pm.Persist(off, n)
+			copy(pshadow[off:], b)
+		case 3:
+			off := int64(next(256<<10 - 200))
+			n := int(next(128)) + 1
+			got := make([]byte, n)
+			pm.ReadAt(got, off)
+			if !bytes.Equal(got, pshadow[off:off+int64(n)]) {
+				t.Fatalf("op %d: pmem region mismatch at %d", op, off)
+			}
+		case 4:
+			sys.Idle(time.Duration(next(100)) * time.Microsecond)
+		case 5:
+			if next(50) == 0 { // occasional crash: pmem survives
+				sys.Crash()
+				sys.Recover()
+				// Volatile region may have reverted; resync the shadow.
+				mem.ReadAt(shadow, 0)
+			}
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package btree
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"flatflash/internal/core"
+	"flatflash/internal/sim"
+)
+
+func newTree(t *testing.T, pages int) *Tree {
+	t.Helper()
+	h, err := core.NewFlatFlash(core.DefaultConfig(32<<20, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(h, pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewValidation(t *testing.T) {
+	h, _ := core.NewFlatFlash(core.DefaultConfig(8<<20, 256<<10))
+	if _, err := New(h, 2); err == nil {
+		t.Fatal("too-small tree accepted")
+	}
+}
+
+func TestEmptyGet(t *testing.T) {
+	tr := newTree(t, 16)
+	if _, err := tr.Get(42); err != ErrNotFound {
+		t.Fatalf("err = %v", err)
+	}
+	if tr.Height() != 1 || tr.Nodes() != 1 {
+		t.Fatalf("fresh tree: height=%d nodes=%d", tr.Height(), tr.Nodes())
+	}
+}
+
+func TestInsertGetUpdate(t *testing.T) {
+	tr := newTree(t, 16)
+	if err := tr.Insert(7, 700); err != nil {
+		t.Fatal(err)
+	}
+	v, err := tr.Get(7)
+	if err != nil || v != 700 {
+		t.Fatalf("get = %d, %v", v, err)
+	}
+	// Upsert.
+	tr.Insert(7, 701)
+	v, _ = tr.Get(7)
+	if v != 701 {
+		t.Fatalf("after update = %d", v)
+	}
+	if _, err := tr.Get(8); err != ErrNotFound {
+		t.Fatal("phantom key")
+	}
+}
+
+func TestSplitsGrowTheTree(t *testing.T) {
+	tr := newTree(t, 256)
+	// Insert enough ascending keys to force leaf and root splits.
+	n := maxLeafKeys*3 + 10
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(uint64(i), uint64(i*10)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("height = %d after %d inserts", tr.Height(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, err := tr.Get(uint64(i))
+		if err != nil || v != uint64(i*10) {
+			t.Fatalf("get %d = %d, %v", i, v, err)
+		}
+	}
+}
+
+func TestDescendingInserts(t *testing.T) {
+	tr := newTree(t, 256)
+	n := maxLeafKeys * 2
+	for i := n; i > 0; i-- {
+		if err := tr.Insert(uint64(i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= n; i++ {
+		if v, err := tr.Get(uint64(i)); err != nil || v != uint64(i) {
+			t.Fatalf("get %d = %d, %v", i, v, err)
+		}
+	}
+}
+
+func TestFullTreeErrors(t *testing.T) {
+	tr := newTree(t, 3)
+	var sawFull bool
+	for i := 0; i < 3*maxLeafKeys; i++ {
+		if err := tr.Insert(uint64(i), 1); err == ErrFull {
+			sawFull = true
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sawFull {
+		t.Fatal("tree never reported ErrFull")
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	tr := newTree(t, 256)
+	for i := 0; i < 1000; i += 2 { // even keys only
+		tr.Insert(uint64(i), uint64(i))
+	}
+	var got []uint64
+	err := tr.Scan(100, 200, func(k, v uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("scan returned %d keys", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("scan out of order")
+	}
+	if got[0] != 100 || got[49] != 198 {
+		t.Fatalf("scan bounds: %d..%d", got[0], got[49])
+	}
+	// Early stop.
+	count := 0
+	tr.Scan(0, 1<<62, func(k, v uint64) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop ignored: %d", count)
+	}
+}
+
+// Property: the tree agrees with a shadow map under random upserts, for
+// random key distributions that force splits at every level.
+func TestTreeShadowProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		h, err := core.NewFlatFlash(core.DefaultConfig(32<<20, 1<<20))
+		if err != nil {
+			return false
+		}
+		tr, err := New(h, 512)
+		if err != nil {
+			return false
+		}
+		rng := sim.NewRNG(seed)
+		shadow := make(map[uint64]uint64)
+		for op := 0; op < 3000; op++ {
+			k := rng.Uint64n(5000)
+			if rng.Intn(3) != 0 {
+				v := rng.Uint64()
+				if err := tr.Insert(k, v); err != nil {
+					return false
+				}
+				shadow[k] = v
+			} else {
+				v, err := tr.Get(k)
+				want, ok := shadow[k]
+				if ok && (err != nil || v != want) {
+					return false
+				}
+				if !ok && err != ErrNotFound {
+					return false
+				}
+			}
+		}
+		// Full scan returns exactly the shadow's keys in order.
+		var keys []uint64
+		tr.Scan(0, 1<<63, func(k, v uint64) bool {
+			keys = append(keys, k)
+			return shadow[k] == v
+		})
+		if len(keys) != len(shadow) {
+			return false
+		}
+		return sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The tree works identically over the paging baselines.
+func TestTreeOnBaseline(t *testing.T) {
+	h, err := core.NewUnifiedMMap(core.DefaultConfig(32<<20, 256<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(h, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		tr.Insert(uint64(i*7%3000), uint64(i))
+	}
+	if _, err := tr.Get(7); err != nil {
+		t.Fatal(err)
+	}
+	r, w := tr.Stats()
+	if r == 0 || w == 0 {
+		t.Fatal("stats not counted")
+	}
+}

@@ -1,0 +1,379 @@
+package core
+
+import (
+	"flatflash/internal/dram"
+	"flatflash/internal/ftl"
+	"flatflash/internal/pcie"
+	"flatflash/internal/sim"
+	"flatflash/internal/stats"
+	"flatflash/internal/vm"
+)
+
+// pagingHierarchy is the shared machinery of the paper's two comparison
+// systems. Both treat the SSD as a page-granularity device: any access to
+// an SSD-resident page takes a page fault that migrates the whole page into
+// host DRAM before the access proceeds (Figure 1a / Figure 3a).
+//
+//   - UnifiedMMap (FlashMap, [27]): unified address translation — one
+//     merged index, no block storage stack on the fault path, small
+//     metadata footprint in DRAM.
+//   - TraditionalStack: separate memory/storage/FTL translation layers —
+//     the fault path crosses the block storage stack, and the extra
+//     per-layer indexes consume host DRAM (fewer frames for the page
+//     cache).
+type pagingHierarchy struct {
+	name  string
+	cfg   Config
+	clock *sim.Clock
+
+	as   *vm.AddressSpace
+	dram *dram.DRAM
+	ftl  *ftl.FTL
+	link *pcie.Link
+
+	faultCost sim.Duration // trap + handler (+ storage stack for Traditional)
+	syncCost  sim.Duration // software cost of one durable block write
+
+	nextLPN  uint32
+	vpnOfFrm map[int]uint64
+	scratch  []byte
+	crashed  bool
+
+	c *stats.Counters
+}
+
+// NewUnifiedMMap builds the FlashMap-style baseline.
+func NewUnifiedMMap(cfg Config) (Hierarchy, error) {
+	return newPaging(cfg, "UnifiedMMap", cfg.MetaOverheadUnified,
+		cfg.FaultOverhead, cfg.FaultOverhead)
+}
+
+// NewTraditionalStack builds the conventional mmap + block-I/O baseline.
+func NewTraditionalStack(cfg Config) (Hierarchy, error) {
+	return newPaging(cfg, "TraditionalStack", cfg.MetaOverheadTraditional,
+		cfg.FaultOverhead+cfg.StackOverhead, cfg.StackOverhead)
+}
+
+func newPaging(cfg Config, name string, metaOverhead float64, faultCost, syncCost sim.Duration) (Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	as, err := cfg.buildVM()
+	if err != nil {
+		return nil, err
+	}
+	d, err := dram.New(dram.Config{
+		Frames:        cfg.dramFrames(metaOverhead),
+		PageSize:      cfg.PageSize,
+		AccessLatency: cfg.DRAMLat,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f, err := cfg.buildFTL()
+	if err != nil {
+		return nil, err
+	}
+	link, err := pcie.NewLink(cfg.PCIe)
+	if err != nil {
+		return nil, err
+	}
+	return &pagingHierarchy{
+		name:      name,
+		cfg:       cfg,
+		clock:     sim.NewClock(),
+		as:        as,
+		dram:      d,
+		ftl:       f,
+		link:      link,
+		faultCost: faultCost,
+		syncCost:  syncCost,
+		vpnOfFrm:  make(map[int]uint64),
+		scratch:   make([]byte, cfg.PageSize),
+		c:         stats.NewCounters(),
+	}, nil
+}
+
+// Name implements Hierarchy.
+func (p *pagingHierarchy) Name() string { return p.name }
+
+// Now implements Hierarchy.
+func (p *pagingHierarchy) Now() sim.Time { return p.clock.Now() }
+
+// Advance implements Hierarchy.
+func (p *pagingHierarchy) Advance(d sim.Duration) { p.clock.Advance(d) }
+
+// Mmap implements Hierarchy.
+func (p *pagingHierarchy) Mmap(size uint64) (Region, error) { return p.mmap(size) }
+
+// MmapPersistent implements Hierarchy. The paging systems have no
+// byte-granular persistence: the region is ordinary mapped memory whose
+// durability is obtained through SyncPages (block writes), which is the
+// block-interface design the paper's persistence experiments compare
+// against.
+func (p *pagingHierarchy) MmapPersistent(size uint64) (Region, error) { return p.mmap(size) }
+
+func (p *pagingHierarchy) mmap(size uint64) (Region, error) {
+	if p.crashed {
+		return Region{}, ErrCrashed
+	}
+	pages := int((size + uint64(p.cfg.PageSize) - 1) / uint64(p.cfg.PageSize))
+	if pages == 0 {
+		pages = 1
+	}
+	if int(p.nextLPN)+pages > p.ftl.LogicalPages() || int(p.nextLPN)+pages > p.cfg.ssdPages() {
+		return Region{}, ErrNoSSDSpace
+	}
+	vpn, err := p.as.Reserve(pages)
+	if err != nil {
+		return Region{}, ErrNoSSDSpace
+	}
+	for i := 0; i < pages; i++ {
+		lpn := p.nextLPN
+		p.nextLPN++
+		p.as.Map(vpn+uint64(i), vm.PTE{Loc: vm.InSSD, SSDPage: lpn})
+	}
+	return Region{Base: vpn * uint64(p.cfg.PageSize), Size: uint64(pages) * uint64(p.cfg.PageSize)}, nil
+}
+
+// Read implements Hierarchy.
+func (p *pagingHierarchy) Read(addr uint64, buf []byte) (sim.Duration, error) {
+	return p.access(addr, buf, false)
+}
+
+// Write implements Hierarchy.
+func (p *pagingHierarchy) Write(addr uint64, data []byte) (sim.Duration, error) {
+	return p.access(addr, data, true)
+}
+
+func (p *pagingHierarchy) access(addr uint64, buf []byte, isWrite bool) (sim.Duration, error) {
+	if p.crashed {
+		return 0, ErrCrashed
+	}
+	start := p.clock.Now()
+	err := chunker(addr, buf, p.cfg.PageSize, p.cfg.CacheLineSize, func(vpn uint64, off int, b []byte) error {
+		return p.accessChunk(vpn, off, b, isWrite)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return p.clock.Now().Sub(start), nil
+}
+
+func (p *pagingHierarchy) accessChunk(vpn uint64, off int, b []byte, isWrite bool) error {
+	now := p.clock.Now()
+	pte, tLat, err := p.as.Translate(vpn)
+	if err != nil {
+		return ErrOutOfRange
+	}
+	now = now.Add(tLat)
+
+	if pte.Loc == vm.InSSD {
+		// Page fault: migrate the whole page SSD -> DRAM (Figure 1a). The
+		// application stalls for the entire handler.
+		now = now.Add(p.faultCost)
+		frame, fNow, ok := p.allocFrame(now)
+		if !ok {
+			return ErrNoSSDSpace
+		}
+		now = fNow
+		done, rerr := p.ftl.ReadPage(now, pte.SSDPage, p.scratch)
+		if rerr != nil {
+			return rerr
+		}
+		done = p.link.DMAPage(done)
+		data, _ := p.dram.Data(frame)
+		copy(data, p.scratch)
+		upd := p.as.UpdateMapping(vpn, vm.PTE{Loc: vm.InDRAM, Frame: frame, SSDPage: pte.SSDPage})
+		p.vpnOfFrm[frame] = vpn
+		now = done.Add(upd)
+		p.c.Add("faults", 1)
+		p.c.Add("page_movements", 1)
+		pte = p.as.PTEOf(vpn)
+	}
+
+	lat, derr := p.dram.Touch(pte.Frame)
+	if derr != nil {
+		return derr
+	}
+	data, _ := p.dram.Data(pte.Frame)
+	if isWrite {
+		copy(data[off:], b)
+		pte.Dirty = true
+		p.c.Add("dram_writes", 1)
+	} else {
+		copy(b, data[off:off+len(b)])
+		p.c.Add("dram_reads", 1)
+	}
+	p.clock.AdvanceTo(now.Add(lat))
+	return nil
+}
+
+// allocFrame returns a free frame, evicting the LRU page when DRAM is full.
+// A dirty victim is written back to flash; the write occupies the device
+// asynchronously (kswapd-style), but the fault still pays the DMA of the
+// outbound page on a loaded system — modeled by the link occupancy.
+func (p *pagingHierarchy) allocFrame(now sim.Time) (int, sim.Time, bool) {
+	if f, err := p.dram.Alloc(); err == nil {
+		return f, now, true
+	}
+	victim, ok := p.dram.EvictCandidate()
+	if !ok {
+		return -1, now, false
+	}
+	vpn := p.vpnOfFrm[victim]
+	pte := p.as.PTEOf(vpn)
+	if pte.Dirty {
+		// Direct reclaim: the faulting thread waits for the outbound DMA
+		// (the frame is reusable once the data reaches the device's write
+		// buffer); the flash program completes asynchronously.
+		data, _ := p.dram.Data(victim)
+		now = p.link.DMAPage(now)
+		if _, err := p.ftl.WritePage(now, pte.SSDPage, data); err != nil {
+			p.c.Add("writeback_failures", 1)
+		}
+		p.c.Add("evict_writebacks", 1)
+		p.c.Add("page_movements", 1)
+	}
+	// Unmapping the victim requires a synchronous TLB shootdown before its
+	// frame can be reused; the faulting thread waits for it.
+	upd := p.as.UpdateMapping(vpn, vm.PTE{Loc: vm.InSSD, SSDPage: pte.SSDPage})
+	now = now.Add(upd)
+	p.c.Add("evictions", 1)
+	delete(p.vpnOfFrm, victim)
+	p.dram.Release(victim)
+	f, err := p.dram.Alloc()
+	if err != nil {
+		return -1, now, false
+	}
+	return f, now, true
+}
+
+// Persist implements Hierarchy: block-interface persistence. Every page
+// touched by the byte range is durably written in page granularity — the
+// write amplification the paper's §3.5 case studies eliminate.
+func (p *pagingHierarchy) Persist(addr uint64, size int) (sim.Duration, error) {
+	if size <= 0 {
+		return 0, nil
+	}
+	first := addr / uint64(p.cfg.PageSize)
+	last := (addr + uint64(size) - 1) / uint64(p.cfg.PageSize)
+	return p.SyncPages(first*uint64(p.cfg.PageSize), int(last-first+1))
+}
+
+// SyncPages implements Hierarchy: fsync-like durable page writes through
+// the storage interface. The caller stalls until the flash program
+// completes (that is what durability means on a block device).
+func (p *pagingHierarchy) SyncPages(addr uint64, n int) (sim.Duration, error) {
+	if p.crashed {
+		return 0, ErrCrashed
+	}
+	start := p.clock.Now()
+	vpn := addr / uint64(p.cfg.PageSize)
+	// One pass through the storage software stack covers the whole batch
+	// (a single bio); the page writes are issued back-to-back and the
+	// caller waits for the last completion. Pages in the same flash block
+	// share a channel, so contiguous batches still serialize there.
+	now := p.clock.Now().Add(p.syncCost)
+	last := now
+	for i := 0; i < n; i++ {
+		pte, tLat, err := p.as.Translate(vpn + uint64(i))
+		if err != nil {
+			return 0, ErrOutOfRange
+		}
+		now = now.Add(tLat)
+		var data []byte
+		if pte.Loc == vm.InDRAM {
+			data, _ = p.dram.Data(pte.Frame)
+			pte.Dirty = false
+		} else {
+			// Page never faulted in: it is already on flash.
+			continue
+		}
+		issued := p.link.DMAPage(now)
+		done, werr := p.ftl.WritePage(issued, pte.SSDPage, data)
+		if werr != nil {
+			return 0, werr
+		}
+		if done > last {
+			last = done
+		}
+		p.c.Add("sync_page_writes", 1)
+	}
+	if last > now {
+		now = last
+	}
+	p.c.Add("sync_calls", 1)
+	p.clock.AdvanceTo(now)
+	return p.clock.Now().Sub(start), nil
+}
+
+// Drain implements Hierarchy: all dirty DRAM pages are written to flash.
+func (p *pagingHierarchy) Drain() {
+	now := p.clock.Now()
+	for frame, vpn := range p.vpnOfFrm {
+		pte := p.as.PTEOf(vpn)
+		if !pte.Dirty {
+			continue
+		}
+		data, _ := p.dram.Data(frame)
+		p.link.DMAPage(now)
+		if _, err := p.ftl.WritePage(now, pte.SSDPage, data); err != nil {
+			p.c.Add("writeback_failures", 1)
+		}
+		pte.Dirty = false
+	}
+}
+
+// Crash implements Hierarchy: DRAM contents (dirty, un-synced pages) are
+// lost; flash survives.
+func (p *pagingHierarchy) Crash() {
+	if p.crashed {
+		return
+	}
+	for frame, vpn := range p.vpnOfFrm {
+		pte := p.as.PTEOf(vpn)
+		p.as.UpdateMapping(vpn, vm.PTE{Loc: vm.InSSD, SSDPage: pte.SSDPage})
+		p.dram.Release(frame)
+	}
+	p.vpnOfFrm = make(map[int]uint64)
+	p.c.Add("crashes", 1)
+	p.crashed = true
+}
+
+// Recover implements Hierarchy.
+func (p *pagingHierarchy) Recover() { p.crashed = false }
+
+// Counters implements Hierarchy.
+func (p *pagingHierarchy) Counters() *stats.Counters {
+	out := stats.NewCounters()
+	out.Merge(p.c)
+	host, progs := p.ftl.Writes()
+	out.Add("flash_host_writes", host)
+	out.Add("flash_programs", progs)
+	out.Add("flash_reads", p.ftl.Device().Reads())
+	erases, maxWear, _ := p.ftl.Device().Wear()
+	out.Add("flash_erases", erases)
+	out.Add("flash_max_block_wear", maxWear)
+	rm := p.ftl.Remap()
+	out.Add("gc_runs", rm.GCRuns)
+	out.Add("gc_relocations", rm.Relocations)
+	out.Add("gc_remap_interrupts", rm.BatchInterrupts)
+	r, w, d, tagged := p.link.Stats()
+	out.Add("pcie_mmio_reads", r)
+	out.Add("pcie_mmio_writes", w)
+	out.Add("pcie_dma_pages", d)
+	out.Add("pcie_persist_tagged", tagged)
+	out.Add("pcie_traffic_bytes", p.link.TrafficBytes(p.cfg.CacheLineSize, p.cfg.PageSize))
+	th, tm, sd := p.as.Stats()
+	out.Add("tlb_hits", th)
+	out.Add("tlb_misses", tm)
+	out.Add("tlb_shootdowns", sd)
+	return out
+}
+
+// Compile-time interface checks.
+var (
+	_ Hierarchy = (*FlatFlash)(nil)
+	_ Hierarchy = (*pagingHierarchy)(nil)
+)

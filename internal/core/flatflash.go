@@ -1,0 +1,519 @@
+package core
+
+import (
+	"fmt"
+
+	"flatflash/internal/dram"
+	"flatflash/internal/ftl"
+	"flatflash/internal/pcie"
+	"flatflash/internal/plb"
+	"flatflash/internal/promote"
+	"flatflash/internal/sim"
+	"flatflash/internal/ssdcache"
+	"flatflash/internal/stats"
+	"flatflash/internal/vm"
+)
+
+// FlatFlash is the paper's system: the byte-addressable SSD is mapped into
+// the unified address space, CPU loads/stores reach it in cache-line
+// granularity over PCIe MMIO, and the adaptive promotion scheme moves hot
+// pages to host DRAM off the critical path through the PLB.
+type FlatFlash struct {
+	cfg   Config
+	clock *sim.Clock
+
+	as   *vm.AddressSpace
+	dram *dram.DRAM
+	ftl  *ftl.FTL
+	cach *ssdcache.Cache
+	pol  promote.Promoter
+	link *pcie.Link
+	plb  *plb.PLB
+
+	nextLPN   uint32
+	vpnOfLPN  map[uint32]uint64 // SSD page -> virtual page (1:1 at mmap)
+	vpnOfFrm  map[int]uint64    // DRAM frame -> virtual page
+	hostCache *hostLineCache    // nil unless cfg.HostCacheLines > 0 (§3.1)
+	scratch   []byte
+	crashed   bool
+
+	c *stats.Counters
+}
+
+// NewFlatFlash builds the FlatFlash hierarchy from cfg.
+func NewFlatFlash(cfg Config) (*FlatFlash, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	as, err := cfg.buildVM()
+	if err != nil {
+		return nil, err
+	}
+	// FlatFlash merges the FTL into the host page table, so no host-DRAM
+	// metadata overhead is charged (the merged index replaces the page
+	// index the baselines also keep).
+	d, err := dram.New(dram.Config{
+		Frames:        cfg.dramFrames(0),
+		PageSize:      cfg.PageSize,
+		AccessLatency: cfg.DRAMLat,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f, err := cfg.buildFTL()
+	if err != nil {
+		return nil, err
+	}
+	cachePages := ssdcache.SizeFor(cfg.SSDBytes, cfg.SSDCacheFraction, cfg.PageSize, cfg.SSDCacheWays)
+	cach, err := ssdcache.New(ssdcache.Config{
+		Pages:    cachePages,
+		Ways:     cfg.SSDCacheWays,
+		PageSize: cfg.PageSize,
+		Policy:   cfg.SSDCachePolicy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f.SetDirtySource(cach)
+	link, err := pcie.NewLink(cfg.PCIe)
+	if err != nil {
+		return nil, err
+	}
+	pc := cfg.PLB
+	pc.PageSize = cfg.PageSize
+	pc.CacheLineSize = cfg.CacheLineSize
+	pl, err := plb.New(pc)
+	if err != nil {
+		return nil, err
+	}
+	var pol promote.Promoter
+	switch cfg.Promotion {
+	case PromoteAdaptive:
+		pol = promote.New(cfg.PromoteParams)
+	case PromoteFixed:
+		pol = promote.NewFixed(cfg.FixedThreshold)
+	case PromoteAlways:
+		pol = promote.NewFixed(1)
+	case PromoteNever:
+		pol = nil
+	default:
+		return nil, fmt.Errorf("core: unknown promotion mode %d", cfg.Promotion)
+	}
+	return &FlatFlash{
+		cfg:       cfg,
+		clock:     sim.NewClock(),
+		as:        as,
+		dram:      d,
+		ftl:       f,
+		cach:      cach,
+		pol:       pol,
+		link:      link,
+		plb:       pl,
+		vpnOfLPN:  make(map[uint32]uint64),
+		vpnOfFrm:  make(map[int]uint64),
+		hostCache: newHostLineCache(cfg.HostCacheLines, cfg.CacheLineSize),
+		scratch:   make([]byte, cfg.PageSize),
+		c:         stats.NewCounters(),
+	}, nil
+}
+
+// Name implements Hierarchy.
+func (s *FlatFlash) Name() string { return "FlatFlash" }
+
+// Config returns the configuration the hierarchy was built with.
+func (s *FlatFlash) Config() Config { return s.cfg }
+
+// Now implements Hierarchy.
+func (s *FlatFlash) Now() sim.Time { return s.clock.Now() }
+
+// Advance implements Hierarchy.
+func (s *FlatFlash) Advance(d sim.Duration) {
+	s.clock.Advance(d)
+	s.completePromotions()
+}
+
+func (s *FlatFlash) mmap(size uint64, persist bool) (Region, error) {
+	if s.crashed {
+		return Region{}, ErrCrashed
+	}
+	pages := int((size + uint64(s.cfg.PageSize) - 1) / uint64(s.cfg.PageSize))
+	if pages == 0 {
+		pages = 1
+	}
+	if int(s.nextLPN)+pages > s.ftl.LogicalPages() || int(s.nextLPN)+pages > s.cfg.ssdPages() {
+		return Region{}, ErrNoSSDSpace
+	}
+	vpn, err := s.as.Reserve(pages)
+	if err != nil {
+		return Region{}, ErrNoSSDSpace
+	}
+	for i := 0; i < pages; i++ {
+		lpn := s.nextLPN
+		s.nextLPN++
+		s.as.Map(vpn+uint64(i), vm.PTE{Loc: vm.InSSD, SSDPage: lpn, Persist: persist})
+		s.vpnOfLPN[lpn] = vpn + uint64(i)
+	}
+	return Region{Base: vpn * uint64(s.cfg.PageSize), Size: uint64(pages) * uint64(s.cfg.PageSize)}, nil
+}
+
+// Mmap implements Hierarchy.
+func (s *FlatFlash) Mmap(size uint64) (Region, error) { return s.mmap(size, false) }
+
+// MmapPersistent implements Hierarchy: pages carry the Persist PTE bit, so
+// the promotion policy never moves them to volatile DRAM and stores reach
+// the battery-backed SSD-Cache (§3.5).
+func (s *FlatFlash) MmapPersistent(size uint64) (Region, error) { return s.mmap(size, true) }
+
+// Read implements Hierarchy.
+func (s *FlatFlash) Read(addr uint64, buf []byte) (sim.Duration, error) {
+	return s.access(addr, buf, false)
+}
+
+// Write implements Hierarchy.
+func (s *FlatFlash) Write(addr uint64, data []byte) (sim.Duration, error) {
+	return s.access(addr, data, true)
+}
+
+func (s *FlatFlash) access(addr uint64, buf []byte, isWrite bool) (sim.Duration, error) {
+	if s.crashed {
+		return 0, ErrCrashed
+	}
+	start := s.clock.Now()
+	err := chunker(addr, buf, s.cfg.PageSize, s.cfg.CacheLineSize, func(vpn uint64, off int, b []byte) error {
+		return s.accessChunk(vpn, off, b, isWrite)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return s.clock.Now().Sub(start), nil
+}
+
+// accessChunk services one sub-cache-line access to one page, advancing the
+// actor clock by the latency the CPU observes.
+func (s *FlatFlash) accessChunk(vpn uint64, off int, b []byte, isWrite bool) error {
+	s.completePromotions()
+	now := s.clock.Now()
+
+	pte, tLat, err := s.as.Translate(vpn)
+	if err != nil {
+		return ErrOutOfRange
+	}
+	now = now.Add(tLat)
+
+	if pte.Loc == vm.InDRAM {
+		lat, derr := s.dram.Touch(pte.Frame)
+		if derr != nil {
+			return derr
+		}
+		data, _ := s.dram.Data(pte.Frame)
+		if isWrite {
+			copy(data[off:], b)
+			pte.Dirty = true
+			s.c.Add("dram_writes", 1)
+		} else {
+			copy(b, data[off:off+len(b)])
+			s.c.Add("dram_reads", 1)
+		}
+		s.clock.AdvanceTo(now.Add(lat))
+		return nil
+	}
+
+	lpn := pte.SSDPage
+
+	// In-flight promotion? The PLB redirects (Figure 4).
+	switch s.plb.Access(now, lpn, off, b, isWrite) {
+	case plb.RouteDRAM:
+		s.c.Add("plb_redirects", 1)
+		s.clock.AdvanceTo(now.Add(s.cfg.DRAMLat))
+		return nil
+	case plb.RouteSSD:
+		done := s.link.MMIORead(now, pte.Persist)
+		s.c.Add("mmio_reads", 1)
+		s.clock.AdvanceTo(done)
+		return nil
+	}
+
+	line := off / s.cfg.CacheLineSize
+	lineStart := line * s.cfg.CacheLineSize
+
+	// Direct byte-granular SSD access over PCIe MMIO.
+	if isWrite {
+		hostDone := s.link.MMIOWrite(now, pte.Persist)
+		s.c.Add("mmio_writes", 1)
+		e, _, hit := s.ensureCached(now, lpn)
+		if e == nil {
+			return ErrNoSSDSpace
+		}
+		copy(e.Data[off:], b)
+		e.Dirty = true
+		if s.hostCache != nil {
+			// Write-through: keep any coherently cached copy of the line
+			// up to date (§3.1's coherent interconnect).
+			s.hostCache.update(lpn, line, off-lineStart, b)
+		}
+		s.countHit(hit)
+		s.maybePromote(now, vpn, lpn, pte, e)
+		s.clock.AdvanceTo(hostDone)
+		return nil
+	}
+	// With a coherent interconnect, the CPU may have the line cached: no
+	// MMIO round trip, and the SSD never sees the access.
+	if s.hostCache != nil {
+		if data, ok := s.hostCache.lookup(lpn, line); ok {
+			copy(b, data[off-lineStart:off-lineStart+len(b)])
+			s.c.Add("hostcache_hits", 1)
+			s.clock.AdvanceTo(now.Add(s.cfg.HostCacheLatency))
+			return nil
+		}
+	}
+	e, ready, hit := s.ensureCached(now, lpn)
+	if e == nil {
+		return ErrNoSSDSpace
+	}
+	done := s.link.MMIORead(ready, pte.Persist)
+	copy(b, e.Data[off:off+len(b)])
+	if s.hostCache != nil && !pte.Persist {
+		s.hostCache.fill(lpn, line, e.Data[lineStart:lineStart+s.cfg.CacheLineSize])
+	}
+	s.c.Add("mmio_reads", 1)
+	s.countHit(hit)
+	s.maybePromote(now, vpn, lpn, pte, e)
+	s.clock.AdvanceTo(done)
+	return nil
+}
+
+func (s *FlatFlash) countHit(hit bool) {
+	if hit {
+		s.c.Add("ssdcache_hits", 1)
+	} else {
+		s.c.Add("ssdcache_misses", 1)
+	}
+}
+
+// ensureCached makes page lpn resident in the SSD-Cache, filling from flash
+// on a miss (and writing back a dirty victim to flash, off the host's
+// critical path). It returns the entry and the time the data is available.
+func (s *FlatFlash) ensureCached(now sim.Time, lpn uint32) (*ssdcache.Entry, sim.Time, bool) {
+	if e, ok := s.cach.Lookup(lpn); ok {
+		return e, now.Add(ssdcache.AccessCost), true
+	}
+	done, err := s.ftl.ReadPage(now, lpn, s.scratch)
+	if err != nil {
+		return nil, now, false
+	}
+	e, victim, evicted := s.cach.Insert(lpn, s.scratch, false)
+	if evicted {
+		if s.pol != nil {
+			s.pol.AdjustCnt(victim.PageCnt)
+		}
+		if victim.Dirty {
+			// Flash write happens inside the SSD; it occupies the device
+			// but the host does not wait for it.
+			if _, werr := s.ftl.WritePage(done, victim.LPN, victim.Data); werr != nil {
+				// Device full; the data stays only in the cache copy we
+				// just dropped — surface loudly in counters.
+				s.c.Add("writeback_failures", 1)
+			}
+			s.c.Add("cache_writebacks", 1)
+		}
+	}
+	return e, done, false
+}
+
+// maybePromote runs Algorithm 1's UPDATE for this access and starts an
+// off-critical-path promotion when the policy fires (§3.3, §3.4). Pages
+// with the Persist bit bypass the policy entirely (§3.5).
+func (s *FlatFlash) maybePromote(now sim.Time, vpn uint64, lpn uint32, pte *vm.PTE, e *ssdcache.Entry) {
+	if pte.Persist || s.pol == nil {
+		return
+	}
+	cnt := s.cach.Touch(e)
+	if !s.pol.Update(cnt) {
+		return
+	}
+	if s.plb.InFlight(lpn) {
+		return
+	}
+	if !s.cfg.UsePLB {
+		// Ablation: no PLB means the CPU stalls for the whole promotion.
+		s.promoteStalling(now, vpn, lpn)
+		return
+	}
+	frame, ok := s.allocFrame(now)
+	if !ok {
+		s.c.Add("promotions_skipped", 1)
+		return
+	}
+	v, ok := s.cach.Remove(lpn)
+	if !ok {
+		s.dram.Release(frame)
+		return
+	}
+	s.pol.AdjustCnt(v.PageCnt)
+	dst, _ := s.dram.Data(frame)
+	s.dram.Pin(frame)
+	if err := s.plb.Start(now, lpn, frame, v.Data, dst, v.Dirty); err != nil {
+		// PLB full: abandon the promotion, put the page back in the cache.
+		s.dram.Release(frame)
+		s.cach.Insert(lpn, v.Data, v.Dirty)
+		s.c.Add("promotions_skipped", 1)
+		return
+	}
+	s.vpnOfFrm[frame] = vpn
+	if s.hostCache != nil {
+		// The page's authoritative copy is moving to DRAM; coherence
+		// invalidates the CPU's cached lines for it.
+		s.hostCache.invalidatePage(lpn, s.cfg.PageSize/s.cfg.CacheLineSize)
+	}
+	s.c.Add("promotions", 1)
+	s.c.Add("page_movements", 1)
+	s.link.DMAPage(now) // the promotion's page transfer occupies the link
+}
+
+// promoteStalling is the no-PLB ablation: the promotion happens on the
+// caller's critical path.
+func (s *FlatFlash) promoteStalling(now sim.Time, vpn uint64, lpn uint32) {
+	frame, ok := s.allocFrame(now)
+	if !ok {
+		s.c.Add("promotions_skipped", 1)
+		return
+	}
+	v, ok := s.cach.Remove(lpn)
+	if !ok {
+		s.dram.Release(frame)
+		return
+	}
+	s.pol.AdjustCnt(v.PageCnt)
+	if s.hostCache != nil {
+		s.hostCache.invalidatePage(lpn, s.cfg.PageSize/s.cfg.CacheLineSize)
+	}
+	dst, _ := s.dram.Data(frame)
+	copy(dst, v.Data)
+	s.link.DMAPage(now)
+	upd := s.as.UpdateMapping(vpn, vm.PTE{Loc: vm.InDRAM, Frame: frame, SSDPage: lpn, Dirty: v.Dirty})
+	s.vpnOfFrm[frame] = vpn
+	s.c.Add("promotions", 1)
+	s.c.Add("page_movements", 1)
+	// CPU waits for copy + mapping update.
+	s.clock.AdvanceTo(now.Add(s.cfg.PLB.PromotionLatency).Add(upd))
+}
+
+// allocFrame returns a free DRAM frame, evicting the LRU page if needed.
+// Eviction writes a dirty page back to the SSD (page-granularity, §3.3) and
+// updates its PTE/TLB; this is background work and does not advance the
+// actor clock.
+func (s *FlatFlash) allocFrame(now sim.Time) (int, bool) {
+	if f, err := s.dram.Alloc(); err == nil {
+		return f, true
+	}
+	victim, ok := s.dram.EvictCandidate()
+	if !ok {
+		return -1, false
+	}
+	vpn, ok := s.vpnOfFrm[victim]
+	if !ok {
+		return -1, false
+	}
+	pte := s.as.PTEOf(vpn)
+	lpn := pte.SSDPage
+	if pte.Dirty {
+		data, _ := s.dram.Data(victim)
+		s.link.DMAPage(now)
+		s.writeBackToCache(now, lpn, data)
+		s.c.Add("evict_writebacks", 1)
+		s.c.Add("page_movements", 1)
+	}
+	s.as.UpdateMapping(vpn, vm.PTE{Loc: vm.InSSD, SSDPage: lpn, Persist: pte.Persist})
+	s.c.Add("evictions", 1)
+	delete(s.vpnOfFrm, victim)
+	s.dram.Release(victim)
+	f, err := s.dram.Alloc()
+	if err != nil {
+		return -1, false
+	}
+	return f, true
+}
+
+// writeBackToCache lands an evicted page in the SSD-Cache dirty (the
+// battery-backed cache absorbs it; flash write deferred to GC/eviction).
+func (s *FlatFlash) writeBackToCache(now sim.Time, lpn uint32, data []byte) {
+	if e, ok := s.cach.Lookup(lpn); ok {
+		copy(e.Data, data)
+		e.Dirty = true
+		return
+	}
+	_, victim, evicted := s.cach.Insert(lpn, data, true)
+	if evicted {
+		if s.pol != nil {
+			s.pol.AdjustCnt(victim.PageCnt)
+		}
+		if victim.Dirty {
+			if _, err := s.ftl.WritePage(now, victim.LPN, victim.Data); err != nil {
+				s.c.Add("writeback_failures", 1)
+			}
+			s.c.Add("cache_writebacks", 1)
+		}
+	}
+}
+
+// completePromotions finalizes in-flight promotions whose deadline passed:
+// the PTE now points at the DRAM frame and the TLB entry is refreshed. The
+// PTE/TLB update cost is charged off the critical path (counted, not added
+// to the actor clock), as §3.3 argues it is negligible next to SSD access.
+func (s *FlatFlash) completePromotions() {
+	for _, c := range s.plb.Expired(s.clock.Now()) {
+		vpn, ok := s.vpnOfLPN[c.LPN]
+		if !ok {
+			s.dram.Release(c.Frame)
+			continue
+		}
+		s.as.UpdateMapping(vpn, vm.PTE{Loc: vm.InDRAM, Frame: c.Frame, SSDPage: c.LPN, Dirty: c.Dirty})
+		s.dram.Unpin(c.Frame)
+		s.vpnOfFrm[c.Frame] = vpn
+		s.c.Add("promotion_completions", 1)
+	}
+}
+
+// Counters implements Hierarchy: the event counters plus substrate stats.
+func (s *FlatFlash) Counters() *stats.Counters {
+	out := stats.NewCounters()
+	out.Merge(s.c)
+	hits, misses, evict, dirty := s.cach.Stats()
+	out.Add("ssdcache_raw_hits", hits)
+	out.Add("ssdcache_raw_misses", misses)
+	out.Add("ssdcache_evictions", evict)
+	out.Add("ssdcache_dirty_evictions", dirty)
+	host, progs := s.ftl.Writes()
+	out.Add("flash_host_writes", host)
+	out.Add("flash_programs", progs)
+	out.Add("flash_reads", s.ftl.Device().Reads())
+	erases, maxWear, _ := s.ftl.Device().Wear()
+	out.Add("flash_erases", erases)
+	out.Add("flash_max_block_wear", maxWear)
+	rm := s.ftl.Remap()
+	out.Add("gc_runs", rm.GCRuns)
+	out.Add("gc_relocations", rm.Relocations)
+	out.Add("gc_remap_interrupts", rm.BatchInterrupts)
+	r, w, d, p := s.link.Stats()
+	out.Add("pcie_mmio_reads", r)
+	out.Add("pcie_mmio_writes", w)
+	out.Add("pcie_dma_pages", d)
+	out.Add("pcie_persist_tagged", p)
+	out.Add("pcie_traffic_bytes", s.link.TrafficBytes(s.cfg.CacheLineSize, s.cfg.PageSize))
+	th, tm, sd := s.as.Stats()
+	out.Add("tlb_hits", th)
+	out.Add("tlb_misses", tm)
+	out.Add("tlb_shootdowns", sd)
+	if s.pol != nil {
+		out.Add("policy_promotions", s.pol.Promotions())
+		out.Add("policy_threshold", int64(s.pol.Threshold()))
+	}
+	return out
+}
+
+// HitRatio returns the combined service ratio from fast paths: fraction of
+// SSD accesses that hit the SSD-Cache, for Figure 12's hit-ratio series.
+func (s *FlatFlash) HitRatio() float64 { return s.cach.HitRatio() }
+
+// WriteAmplification exposes the FTL's WA for lifetime comparisons.
+func (s *FlatFlash) WriteAmplification() float64 { return s.ftl.WriteAmplification() }

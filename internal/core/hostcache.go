@@ -1,0 +1,96 @@
+package core
+
+import "container/list"
+
+// hostLineCache models §3.1's cache-coherent interconnect support
+// (CAPI/CCIX/OpenCAPI): with plain PCIe, MMIO accesses are uncacheable, but
+// a coherent protocol lets the host CPU cache SSD-resident lines, turning
+// repeated byte-granular reads of the same line into CPU-cache hits.
+//
+// The cache is write-through (stores still travel to the SSD as posted
+// writes, preserving the persistence path) and fully associative LRU over
+// (SSD page, line) keys. It must be invalidated per page whenever the
+// page's authoritative copy moves out from under it — promotion to DRAM or
+// eviction write-back — and it does not survive Crash.
+type hostLineCache struct {
+	cap   int
+	lru   *list.List
+	elem  map[hostLineKey]*list.Element
+	bytes int // line size
+}
+
+type hostLineKey struct {
+	lpn  uint32
+	line int
+}
+
+type hostLineEntry struct {
+	key  hostLineKey
+	data []byte
+}
+
+func newHostLineCache(lines, lineSize int) *hostLineCache {
+	if lines <= 0 {
+		return nil
+	}
+	return &hostLineCache{
+		cap:   lines,
+		lru:   list.New(),
+		elem:  make(map[hostLineKey]*list.Element),
+		bytes: lineSize,
+	}
+}
+
+// lookup returns the cached line data for (lpn, line), if present.
+func (c *hostLineCache) lookup(lpn uint32, line int) ([]byte, bool) {
+	e, ok := c.elem[hostLineKey{lpn, line}]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(e)
+	return e.Value.(*hostLineEntry).data, true
+}
+
+// fill installs line data after an MMIO read (copying it).
+func (c *hostLineCache) fill(lpn uint32, line int, data []byte) {
+	key := hostLineKey{lpn, line}
+	if e, ok := c.elem[key]; ok {
+		copy(e.Value.(*hostLineEntry).data, data)
+		c.lru.MoveToFront(e)
+		return
+	}
+	if c.lru.Len() >= c.cap {
+		back := c.lru.Back()
+		ent := back.Value.(*hostLineEntry)
+		delete(c.elem, ent.key)
+		c.lru.Remove(back)
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	c.elem[key] = c.lru.PushFront(&hostLineEntry{key: key, data: buf})
+}
+
+// update applies a store to a cached line if present (write-through keeps
+// the SSD authoritative; the cached copy just stays coherent).
+func (c *hostLineCache) update(lpn uint32, line, off int, data []byte) {
+	if e, ok := c.elem[hostLineKey{lpn, line}]; ok {
+		copy(e.Value.(*hostLineEntry).data[off:], data)
+	}
+}
+
+// invalidatePage drops every cached line of lpn (promotion/eviction moved
+// the page's authoritative copy).
+func (c *hostLineCache) invalidatePage(lpn uint32, linesPerPage int) {
+	for line := 0; line < linesPerPage; line++ {
+		if e, ok := c.elem[hostLineKey{lpn, line}]; ok {
+			c.lru.Remove(e)
+			delete(c.elem, hostLineKey{lpn, line})
+		}
+	}
+}
+
+// drop clears the whole cache (power failure).
+func (c *hostLineCache) drop() {
+	c.lru.Init()
+	c.elem = make(map[hostLineKey]*list.Element)
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"flatflash/internal/sim"
+)
+
+func cachedConfig() Config {
+	cfg := testConfig()
+	cfg.HostCacheLines = 256
+	cfg.Promotion = PromoteNever // isolate the host-cache effect
+	return cfg
+}
+
+func TestHostCacheHitSkipsMMIO(t *testing.T) {
+	ff, _ := NewFlatFlash(cachedConfig())
+	r, _ := ff.Mmap(64 << 10)
+	buf := make([]byte, 8)
+	// First read: MMIO + miss fill.
+	lat1, _ := ff.Read(r.Base, buf)
+	// Second read of the same line: coherent CPU-cache hit.
+	lat2, _ := ff.Read(r.Base+8, buf)
+	if lat2 >= sim.Micros(1) {
+		t.Fatalf("cached read took %v, want CPU-cache speed", lat2)
+	}
+	if lat1 <= lat2 {
+		t.Fatal("first read should have been the slow one")
+	}
+	c := ff.Counters()
+	if c.Get("hostcache_hits") != 1 {
+		t.Fatalf("hostcache_hits = %d", c.Get("hostcache_hits"))
+	}
+	if c.Get("mmio_reads") != 1 {
+		t.Fatalf("mmio_reads = %d", c.Get("mmio_reads"))
+	}
+}
+
+func TestHostCacheWriteThrough(t *testing.T) {
+	ff, _ := NewFlatFlash(cachedConfig())
+	r, _ := ff.Mmap(64 << 10)
+	buf := make([]byte, 8)
+	ff.Read(r.Base, buf) // cache the line
+	want := []byte{9, 8, 7, 6}
+	ff.Write(r.Base+4, want)
+	got := make([]byte, 4)
+	lat, _ := ff.Read(r.Base+4, got)
+	if !bytes.Equal(got, want) {
+		t.Fatal("cached line went stale after write-through store")
+	}
+	if lat >= sim.Micros(1) {
+		t.Fatal("read after write should still hit the host cache")
+	}
+}
+
+// The coherence protocol must invalidate cached lines when the page is
+// promoted; otherwise a DRAM write would be shadowed by a stale CPU line
+// after the page is evicted back to the SSD.
+func TestHostCacheCoherentAcrossPromotionCycle(t *testing.T) {
+	cfg := testConfig()
+	cfg.HostCacheLines = 256
+	cfg.DRAMBytes = 2 * uint64(cfg.PageSize) // tiny: easy to force eviction
+	ff, _ := NewFlatFlash(cfg)
+	r, _ := ff.Mmap(256 << 10)
+	buf := make([]byte, 8)
+
+	addr := r.Base + 128
+	ff.Write(addr, []byte("version1"))
+	ff.Read(addr, buf) // line now in host cache
+	// Promote the page.
+	for i := 0; i < 30; i++ {
+		ff.Read(addr, buf)
+		ff.Advance(sim.Micros(2))
+	}
+	ff.Advance(sim.Micros(100))
+	// Modify while DRAM-resident.
+	ff.Write(addr, []byte("version2"))
+	// Force eviction back to SSD by promoting other pages.
+	for p := 1; p < 20; p++ {
+		a := r.Base + uint64(p)*4096
+		for i := 0; i < 30; i++ {
+			ff.Read(a, buf)
+			ff.Advance(sim.Micros(2))
+		}
+	}
+	ff.Advance(sim.Micros(200))
+	got := make([]byte, 8)
+	ff.Read(addr, got)
+	if !bytes.Equal(got, []byte("version2")) {
+		t.Fatalf("stale host-cache line survived promotion cycle: %q", got)
+	}
+}
+
+func TestHostCacheDroppedOnCrash(t *testing.T) {
+	ff, _ := NewFlatFlash(cachedConfig())
+	r, _ := ff.Mmap(64 << 10)
+	buf := make([]byte, 8)
+	ff.Read(r.Base, buf)
+	ff.Crash()
+	ff.Recover()
+	lat, _ := ff.Read(r.Base, buf)
+	if lat < sim.Micros(4) {
+		t.Fatalf("host cache survived a crash (read took %v)", lat)
+	}
+}
+
+func TestHostCacheCapacityEviction(t *testing.T) {
+	cfg := cachedConfig()
+	cfg.HostCacheLines = 2
+	ff, _ := NewFlatFlash(cfg)
+	r, _ := ff.Mmap(64 << 10)
+	buf := make([]byte, 8)
+	ff.Read(r.Base, buf)     // line A
+	ff.Read(r.Base+64, buf)  // line B
+	ff.Read(r.Base+128, buf) // line C evicts A
+	lat, _ := ff.Read(r.Base, buf)
+	if lat < sim.Micros(4) {
+		t.Fatal("evicted line still served from host cache")
+	}
+}
+
+// Property: with the host cache enabled, the hierarchy still behaves as
+// flat shadow memory under arbitrary read/write interleavings.
+func TestHostCacheShadowProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		cfg := testConfig()
+		cfg.HostCacheLines = 64
+		h, err := NewFlatFlash(cfg)
+		if err != nil {
+			return false
+		}
+		const regionSize = 128 << 10
+		r, err := h.Mmap(regionSize)
+		if err != nil {
+			return false
+		}
+		shadow := make([]byte, regionSize)
+		rng := sim.NewRNG(seed)
+		for op := 0; op < 400; op++ {
+			off := rng.Uint64n(regionSize - 128)
+			n := rng.Intn(128) + 1
+			if rng.Intn(2) == 0 {
+				data := make([]byte, n)
+				for j := range data {
+					data[j] = byte(rng.Uint64())
+				}
+				if _, err := h.Write(r.Base+off, data); err != nil {
+					return false
+				}
+				copy(shadow[off:], data)
+			} else {
+				got := make([]byte, n)
+				if _, err := h.Read(r.Base+off, got); err != nil {
+					return false
+				}
+				if !bytes.Equal(got, shadow[off:int(off)+n]) {
+					return false
+				}
+			}
+			if rng.Intn(16) == 0 {
+				h.Advance(sim.Micros(20))
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"flatflash/internal/sim"
+	"flatflash/internal/vm"
+)
+
+// FlushLineCost is the CPU-side cost of issuing one clwb/clflush for a
+// cache line headed to the persistent region (§3.5's flush step). The bulk
+// of the persistence cost is the write-verify read ordering point.
+const FlushLineCost = 100 * sim.Nanosecond
+
+// Persist implements Hierarchy for FlatFlash: byte-granular persistence.
+// The covered cache lines are flushed (their stores already traveled as
+// posted MMIO writes into the battery-backed SSD-Cache), and a single
+// write-verify read — the paper's mfence-equivalent (§3.5, Figure 5) —
+// orders them. The whole range must lie in a persistent region.
+func (s *FlatFlash) Persist(addr uint64, size int) (sim.Duration, error) {
+	if s.crashed {
+		return 0, ErrCrashed
+	}
+	if size <= 0 {
+		return 0, nil
+	}
+	start := s.clock.Now()
+	firstVPN := addr / uint64(s.cfg.PageSize)
+	lastVPN := (addr + uint64(size) - 1) / uint64(s.cfg.PageSize)
+	for vpn := firstVPN; vpn <= lastVPN; vpn++ {
+		pte, _, err := s.as.Translate(vpn)
+		if err != nil {
+			return 0, ErrOutOfRange
+		}
+		if !pte.Persist {
+			return 0, ErrNotPersistent
+		}
+	}
+	lines := (int(addr%uint64(s.cfg.CacheLineSize)) + size + s.cfg.CacheLineSize - 1) / s.cfg.CacheLineSize
+	now := s.clock.Now().Add(sim.Duration(lines) * FlushLineCost)
+	// Write-verify read: a non-posted MMIO read that drains all posted
+	// writes ahead of it in the host bridge.
+	now = s.link.MMIORead(now, true)
+	s.c.Add("persist_barriers", 1)
+	s.c.Add("persist_lines", int64(lines))
+	s.clock.AdvanceTo(now)
+	return s.clock.Now().Sub(start), nil
+}
+
+// SyncPages implements Hierarchy for FlatFlash: page-granularity durable
+// write. DRAM-resident pages are transferred over the link into the
+// battery-backed SSD-Cache; SSD-resident dirty pages are already inside the
+// persistence domain.
+func (s *FlatFlash) SyncPages(addr uint64, n int) (sim.Duration, error) {
+	if s.crashed {
+		return 0, ErrCrashed
+	}
+	start := s.clock.Now()
+	vpn := addr / uint64(s.cfg.PageSize)
+	now := s.clock.Now()
+	for i := 0; i < n; i++ {
+		pte, tLat, err := s.as.Translate(vpn + uint64(i))
+		if err != nil {
+			return 0, ErrOutOfRange
+		}
+		now = now.Add(tLat)
+		if pte.Loc == vm.InDRAM && pte.Dirty {
+			data, _ := s.dram.Data(pte.Frame)
+			now = s.link.DMAPage(now)
+			s.writeBackToCache(now, pte.SSDPage, data)
+			pte.Dirty = false
+			s.c.Add("sync_page_transfers", 1)
+		}
+	}
+	// One ordering read at the end.
+	now = s.link.MMIORead(now, true)
+	s.c.Add("sync_calls", 1)
+	s.clock.AdvanceTo(now)
+	return s.clock.Now().Sub(start), nil
+}
+
+// Drain implements Hierarchy: every dirty DRAM page is written back into
+// the SSD-Cache and every dirty SSD-Cache page is programmed to flash.
+func (s *FlatFlash) Drain() {
+	s.completePromotions()
+	for _, c := range s.plb.Flush(s.clock.Now()) {
+		vpn, ok := s.vpnOfLPN[c.LPN]
+		if !ok {
+			s.dram.Release(c.Frame)
+			continue
+		}
+		s.as.UpdateMapping(vpn, vm.PTE{Loc: vm.InDRAM, Frame: c.Frame, SSDPage: c.LPN, Dirty: c.Dirty})
+		s.dram.Unpin(c.Frame)
+		s.vpnOfFrm[c.Frame] = vpn
+	}
+	now := s.clock.Now()
+	for frame, vpn := range s.vpnOfFrm {
+		pte := s.as.PTEOf(vpn)
+		if pte.Dirty {
+			data, _ := s.dram.Data(frame)
+			s.writeBackToCache(now, pte.SSDPage, data)
+			pte.Dirty = false
+		}
+	}
+	for _, lpn := range s.cach.DirtyPages() {
+		if data, ok := s.cach.TakeDirty(lpn); ok {
+			if _, err := s.ftl.WritePage(now, lpn, data); err != nil {
+				s.c.Add("writeback_failures", 1)
+			}
+		}
+	}
+}
+
+// Crash implements Hierarchy: power failure. Host DRAM and in-flight
+// promotions vanish; the battery-backed SSD-Cache and flash survive. With
+// BatteryBacked=false (ablation) dirty cache contents are lost too.
+func (s *FlatFlash) Crash() {
+	if s.crashed {
+		return
+	}
+	// In-flight promotions die with their DRAM frames; PTEs still point at
+	// the SSD, so no mapping change is needed — just reclaim the frames.
+	for _, c := range s.plb.Flush(s.clock.Now()) {
+		s.dram.Release(c.Frame)
+	}
+	// Every DRAM-resident page reverts to its SSD backing (whatever last
+	// reached the persistence domain).
+	for frame, vpn := range s.vpnOfFrm {
+		pte := s.as.PTEOf(vpn)
+		s.as.UpdateMapping(vpn, vm.PTE{Loc: vm.InSSD, SSDPage: pte.SSDPage, Persist: pte.Persist})
+		s.dram.Release(frame)
+	}
+	s.vpnOfFrm = make(map[int]uint64)
+	if s.hostCache != nil {
+		s.hostCache.drop() // CPU caches are volatile
+	}
+	if !s.cfg.BatteryBacked {
+		for _, lpn := range s.cach.DirtyPages() {
+			s.cach.Remove(lpn)
+		}
+	}
+	s.c.Add("crashes", 1)
+	s.crashed = true
+}
+
+// Recover implements Hierarchy.
+func (s *FlatFlash) Recover() { s.crashed = false }

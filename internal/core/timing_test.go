@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"flatflash/internal/sim"
+)
+
+// End-to-end timing decomposition: observed access latencies must equal
+// exactly the sums of the Table 2 components the paper's model prescribes,
+// for each canonical path. This pins the simulator's arithmetic so that a
+// refactor cannot silently shift the calibration.
+func TestLatencyDecomposition(t *testing.T) {
+	cfg := testConfig()
+	cfg.Promotion = PromoteNever // keep pages put
+	ff, _ := NewFlatFlash(cfg)
+	r, _ := ff.Mmap(256 << 10)
+	buf := make([]byte, 8)
+
+	// 1. Cold SSD read: page walk + flash page read + MMIO read round trip
+	//    (plus the SSD-internal cache access absorbed in the flash fill).
+	lat, _ := ff.Read(r.Base, buf)
+	want := cfg.VM.WalkLatency + cfg.FlashReadLatency + cfg.PCIe.MMIOReadLatency
+	if lat != want {
+		t.Errorf("cold read = %v, want walk+flash+mmio = %v", lat, want)
+	}
+
+	// 2. Warm SSD read (SSD-Cache hit, TLB hit): internal cache access +
+	//    MMIO round trip. AccessCost is the in-SSD DRAM touch.
+	lat, _ = ff.Read(r.Base+8, buf)
+	want = 200*sim.Nanosecond + cfg.PCIe.MMIOReadLatency
+	if lat != want {
+		t.Errorf("warm read = %v, want cacheAccess+mmio = %v", lat, want)
+	}
+
+	// 3. Posted MMIO write to a cached page: just the posted-write latency.
+	lat, _ = ff.Write(r.Base+16, buf)
+	if lat != cfg.PCIe.MMIOWriteLatency {
+		t.Errorf("posted write = %v, want %v", lat, cfg.PCIe.MMIOWriteLatency)
+	}
+
+	// 4. Baseline cold fault: walk + trap/handler + flash read + page DMA +
+	//    PTE/TLB update + the DRAM access that completes the load.
+	um, _ := NewUnifiedMMap(cfg)
+	r2, _ := um.Mmap(256 << 10)
+	lat, _ = um.Read(r2.Base, buf)
+	want = cfg.VM.WalkLatency + cfg.FaultOverhead + cfg.FlashReadLatency +
+		cfg.PCIe.DMAPageLatency + cfg.VM.UpdateLatency + cfg.DRAMLat
+	if lat != want {
+		t.Errorf("fault = %v, want %v", lat, want)
+	}
+
+	// 5. TraditionalStack adds exactly the block storage stack.
+	ts, _ := NewTraditionalStack(cfg)
+	r3, _ := ts.Mmap(256 << 10)
+	lat, _ = ts.Read(r3.Base, buf)
+	if lat != want+cfg.StackOverhead {
+		t.Errorf("traditional fault = %v, want %v", lat, want+cfg.StackOverhead)
+	}
+
+	// 6. Byte-granular persist of one line: per-line flush + write-verify
+	//    MMIO read (the pmem page is already SSD-Cache-resident after the
+	//    preceding store).
+	pm, _ := ff.MmapPersistent(64 << 10)
+	ff.Write(pm.Base, buf)
+	lat, _ = ff.Persist(pm.Base, 8)
+	want = FlushLineCost + cfg.PCIe.MMIOReadLatency
+	if lat != want {
+		t.Errorf("persist = %v, want flush+verify = %v", lat, want)
+	}
+}

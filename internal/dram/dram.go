@@ -1,0 +1,170 @@
+// Package dram models host DRAM: a pool of page frames with cache-line
+// access latency, an LRU eviction order over unpinned frames, and pinning
+// for frames that are the destination of an in-flight promotion (the PLB's
+// reserved memory region, §3.3).
+package dram
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+
+	"flatflash/internal/sim"
+)
+
+// Errors.
+var (
+	ErrNoFrames = errors.New("dram: no free frames")
+	ErrBadFrame = errors.New("dram: invalid frame")
+)
+
+// Config sizes the DRAM.
+type Config struct {
+	Frames        int // number of page frames
+	PageSize      int
+	AccessLatency sim.Duration // one cache-line access
+}
+
+// DefaultAccessLatency is a conventional DRAM cache-line access time.
+const DefaultAccessLatency = 100 * sim.Nanosecond
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Frames <= 0 || c.PageSize <= 0 {
+		return fmt.Errorf("dram: Frames %d PageSize %d", c.Frames, c.PageSize)
+	}
+	if c.AccessLatency <= 0 {
+		return errors.New("dram: non-positive access latency")
+	}
+	return nil
+}
+
+// DRAM is the host memory.
+type DRAM struct {
+	cfg    Config
+	frames [][]byte
+	free   []int
+
+	lru      *list.List            // front = most recent; holds unpinned, allocated frames
+	elem     map[int]*list.Element // frame -> lru element
+	pinned   map[int]bool
+	accesses int64
+}
+
+// New builds DRAM with all frames free.
+func New(cfg Config) (*DRAM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &DRAM{
+		cfg:    cfg,
+		frames: make([][]byte, cfg.Frames),
+		lru:    list.New(),
+		elem:   make(map[int]*list.Element),
+		pinned: make(map[int]bool),
+	}
+	for i := cfg.Frames - 1; i >= 0; i-- {
+		d.free = append(d.free, i)
+	}
+	return d, nil
+}
+
+// Config returns the DRAM configuration.
+func (d *DRAM) Config() Config { return d.cfg }
+
+// FreeFrames returns the number of unallocated frames.
+func (d *DRAM) FreeFrames() int { return len(d.free) }
+
+// Alloc takes a free frame (zeroed) and places it at the MRU position.
+func (d *DRAM) Alloc() (int, error) {
+	if len(d.free) == 0 {
+		return -1, ErrNoFrames
+	}
+	f := d.free[len(d.free)-1]
+	d.free = d.free[:len(d.free)-1]
+	d.frames[f] = make([]byte, d.cfg.PageSize)
+	d.elem[f] = d.lru.PushFront(f)
+	return f, nil
+}
+
+// Release returns frame f to the free pool.
+func (d *DRAM) Release(f int) error {
+	if err := d.check(f); err != nil {
+		return err
+	}
+	if e, ok := d.elem[f]; ok {
+		d.lru.Remove(e)
+		delete(d.elem, f)
+	}
+	delete(d.pinned, f)
+	d.frames[f] = nil
+	d.free = append(d.free, f)
+	return nil
+}
+
+func (d *DRAM) check(f int) error {
+	if f < 0 || f >= d.cfg.Frames || d.frames[f] == nil {
+		return ErrBadFrame
+	}
+	return nil
+}
+
+// Data returns the page buffer of an allocated frame.
+func (d *DRAM) Data(f int) ([]byte, error) {
+	if err := d.check(f); err != nil {
+		return nil, err
+	}
+	return d.frames[f], nil
+}
+
+// Touch records a use of frame f (moves it to MRU) and returns the
+// cache-line access latency to charge.
+func (d *DRAM) Touch(f int) (sim.Duration, error) {
+	if err := d.check(f); err != nil {
+		return 0, err
+	}
+	if e, ok := d.elem[f]; ok {
+		d.lru.MoveToFront(e)
+	}
+	d.accesses++
+	return d.cfg.AccessLatency, nil
+}
+
+// Pin removes frame f from eviction consideration (promotion destination).
+func (d *DRAM) Pin(f int) error {
+	if err := d.check(f); err != nil {
+		return err
+	}
+	if e, ok := d.elem[f]; ok {
+		d.lru.Remove(e)
+		delete(d.elem, f)
+	}
+	d.pinned[f] = true
+	return nil
+}
+
+// Unpin makes frame f evictable again, at MRU position.
+func (d *DRAM) Unpin(f int) error {
+	if err := d.check(f); err != nil {
+		return err
+	}
+	if !d.pinned[f] {
+		return nil
+	}
+	delete(d.pinned, f)
+	d.elem[f] = d.lru.PushFront(f)
+	return nil
+}
+
+// EvictCandidate returns the least-recently-used unpinned frame, without
+// releasing it; the caller writes it back and then calls Release.
+func (d *DRAM) EvictCandidate() (int, bool) {
+	e := d.lru.Back()
+	if e == nil {
+		return -1, false
+	}
+	return e.Value.(int), true
+}
+
+// Accesses returns the number of Touch calls.
+func (d *DRAM) Accesses() int64 { return d.accesses }

@@ -1,0 +1,127 @@
+package dram
+
+import (
+	"testing"
+)
+
+func testConfig() Config {
+	return Config{Frames: 4, PageSize: 128, AccessLatency: DefaultAccessLatency}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range []Config{
+		{Frames: 0, PageSize: 128, AccessLatency: 1},
+		{Frames: 4, PageSize: 0, AccessLatency: 1},
+		{Frames: 4, PageSize: 128, AccessLatency: 0},
+	} {
+		if c.Validate() == nil {
+			t.Errorf("case %d accepted", i)
+		}
+		if _, err := New(c); err == nil {
+			t.Errorf("case %d: New accepted", i)
+		}
+	}
+}
+
+func TestAllocReleaseCycle(t *testing.T) {
+	d, _ := New(testConfig())
+	if d.FreeFrames() != 4 {
+		t.Fatalf("free = %d", d.FreeFrames())
+	}
+	var frames []int
+	for i := 0; i < 4; i++ {
+		f, err := d.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, f)
+	}
+	if _, err := d.Alloc(); err != ErrNoFrames {
+		t.Fatalf("err = %v", err)
+	}
+	data, err := d.Data(frames[0])
+	if err != nil || len(data) != 128 {
+		t.Fatalf("data err=%v len=%d", err, len(data))
+	}
+	for _, b := range data {
+		if b != 0 {
+			t.Fatal("frame not zeroed")
+		}
+	}
+	if err := d.Release(frames[0]); err != nil {
+		t.Fatal(err)
+	}
+	if d.FreeFrames() != 1 {
+		t.Fatalf("free after release = %d", d.FreeFrames())
+	}
+	if _, err := d.Data(frames[0]); err != ErrBadFrame {
+		t.Fatalf("released frame readable: %v", err)
+	}
+	if err := d.Release(frames[0]); err != ErrBadFrame {
+		t.Fatal("double release accepted")
+	}
+	if err := d.Release(99); err != ErrBadFrame {
+		t.Fatal("bogus release accepted")
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	d, _ := New(testConfig())
+	f0, _ := d.Alloc()
+	f1, _ := d.Alloc()
+	f2, _ := d.Alloc()
+	// LRU is f0. Touch f0 -> LRU becomes f1.
+	if c, ok := d.EvictCandidate(); !ok || c != f0 {
+		t.Fatalf("candidate = %d", c)
+	}
+	if lat, err := d.Touch(f0); err != nil || lat != DefaultAccessLatency {
+		t.Fatalf("touch lat=%v err=%v", lat, err)
+	}
+	if c, _ := d.EvictCandidate(); c != f1 {
+		t.Fatalf("candidate after touch = %d", c)
+	}
+	_ = f2
+	if d.Accesses() != 1 {
+		t.Fatalf("accesses = %d", d.Accesses())
+	}
+	if _, err := d.Touch(99); err != ErrBadFrame {
+		t.Fatal("touch of bogus frame accepted")
+	}
+}
+
+func TestPinExcludesFromEviction(t *testing.T) {
+	d, _ := New(testConfig())
+	f0, _ := d.Alloc()
+	f1, _ := d.Alloc()
+	if err := d.Pin(f0); err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := d.EvictCandidate(); !ok || c != f1 {
+		t.Fatalf("pinned frame still candidate: %d", c)
+	}
+	// Pin the only other frame: no candidate at all.
+	d.Pin(f1)
+	if _, ok := d.EvictCandidate(); ok {
+		t.Fatal("candidate despite all pinned")
+	}
+	if err := d.Unpin(f0); err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := d.EvictCandidate(); !ok || c != f0 {
+		t.Fatalf("unpinned frame not candidate: %d", c)
+	}
+	// Unpin of an unpinned frame is a no-op.
+	if err := d.Unpin(f0); err != nil {
+		t.Fatal(err)
+	}
+	// Release of a pinned frame clears the pin.
+	if err := d.Release(f1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Pin(99); err != ErrBadFrame {
+		t.Fatal("pin of bogus frame accepted")
+	}
+}

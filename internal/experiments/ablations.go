@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flatflash/internal/core"
+	"flatflash/internal/kvstore"
+	"flatflash/internal/sim"
+	"flatflash/internal/ssdcache"
+)
+
+// Ablations quantifies the design choices DESIGN.md calls out, each against
+// the full FlatFlash design on the YCSB-B thrashing workload:
+//
+//   - adaptive promotion (Algorithm 1) vs fixed threshold, promote-always
+//     (eager paging), and promote-never (pure MMIO);
+//   - the PLB vs stalling the CPU for each promotion;
+//   - RRIP vs LRU replacement in the SSD-Cache;
+//   - wear-aware vs greedy GC victim selection (max block wear).
+func Ablations(scale Scale) []*Report {
+	ops := scale.pick(8000, 24000)
+	const (
+		ssdBytes  = 32 << 20
+		dramBytes = 128 << 10
+	)
+	records := uint64(dramBytes) * 8 / kvstore.RecordSize
+
+	type variant struct {
+		name   string
+		mutate func(*core.Config)
+	}
+	variants := []variant{
+		{"full design (adaptive+PLB+RRIP)", func(c *core.Config) {}},
+		{"fixed threshold (=4)", func(c *core.Config) { c.Promotion = core.PromoteFixed }},
+		{"promote always (eager paging)", func(c *core.Config) { c.Promotion = core.PromoteAlways }},
+		{"promote never (pure MMIO)", func(c *core.Config) { c.Promotion = core.PromoteNever }},
+		{"no PLB (stall on promotion)", func(c *core.Config) { c.UsePLB = false }},
+		{"LRU SSD-Cache", func(c *core.Config) { c.SSDCachePolicy = ssdcache.LRU }},
+	}
+
+	perf := &Report{
+		ID:     "ablation-design",
+		Title:  "Design ablations on YCSB-B (WSS 8x DRAM)",
+		Header: []string{"Variant", "Avg latency", "p99", "PageMovements", "vs full"},
+	}
+	var fullAvg sim.Duration
+	for _, v := range variants {
+		cfg := core.DefaultConfig(ssdBytes, dramBytes)
+		v.mutate(&cfg)
+		h := mustBuild("FlatFlash", cfg)
+		res, err := kvstore.Run(h, kvstore.Config{Records: records, Ops: ops, Workload: 'B', Seed: 11})
+		if err != nil {
+			panic(err)
+		}
+		if fullAvg == 0 {
+			fullAvg = res.Avg
+		}
+		perf.AddRow(v.name, us(res.Avg), us(res.P99),
+			fmt.Sprintf("%d", res.PageMovements),
+			ratio(float64(res.Avg), float64(fullAvg)))
+	}
+	perf.AddNote("vs full > 1.00x means the ablated variant is slower")
+
+	wear := &Report{
+		ID:     "ablation-wear",
+		Title:  "GC victim selection: greedy vs wear-aware (skewed writes)",
+		Header: []string{"Policy", "MaxBlockWear", "TotalErases", "WriteAmp"},
+	}
+	for _, level := range []bool{false, true} {
+		name := "greedy"
+		if level {
+			name = "wear-aware"
+		}
+		maxWear, total, wa := wearRun(level, scale)
+		wear.AddRow(name, fmt.Sprintf("%d", maxWear), fmt.Sprintf("%d", total), fmt.Sprintf("%.2f", wa))
+	}
+	wear.AddNote("wear-aware GC trades a little extra relocation for even erase distribution (lifetime)")
+	return []*Report{perf, wear}
+}
+
+// wearRun hammers a few hot pages through a small FTL and reports wear.
+func wearRun(level bool, scale Scale) (maxWear, total int64, writeAmp float64) {
+	cfg := core.DefaultConfig(4<<20, 64<<10)
+	f, err := cfg.BuildFTL(level)
+	if err != nil {
+		panic(err)
+	}
+	rng := sim.NewRNG(99)
+	page := make([]byte, f.PageSize())
+	var now sim.Time
+	n := scale.pick(8000, 30000)
+	for i := 0; i < n; i++ {
+		var lpn uint32
+		if rng.Intn(10) != 0 {
+			lpn = uint32(rng.Intn(8))
+		} else {
+			lpn = uint32(rng.Uint64n(uint64(f.LogicalPages())))
+		}
+		now, err = f.WritePage(now, lpn, page)
+		if err != nil {
+			panic(err)
+		}
+	}
+	total, maxWear, _ = f.Device().Wear()
+	return maxWear, total, f.WriteAmplification()
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flatflash/internal/core"
+	"flatflash/internal/fsim"
+)
+
+// Fig13 reproduces Figure 13: speedup of common file-system operations when
+// metadata persistence moves from block journaling (on TraditionalStack,
+// the conventional deployment) to FlatFlash's byte-granular persistence,
+// for EXT4, XFS, and BtrFS. The flash-program ratio is the SSD-lifetime
+// improvement reported in Table 1.
+func Fig13(scale Scale) *Report {
+	ops := scale.pick(60, 250)
+	rep := &Report{
+		ID:     "fig13",
+		Title:  "File-system ops: FlatFlash byte persistence vs block journaling",
+		Header: []string{"Workload", "EXT4", "XFS", "BtrFS", "EXT4 wear", "XFS wear", "BtrFS wear"},
+	}
+	for _, w := range fsim.Workloads {
+		row := []string{w.String()}
+		var wear []string
+		for _, kind := range []fsim.FSKind{fsim.EXT4, fsim.XFS, fsim.BtrFS} {
+			// Conventional: block journaling over the traditional stack.
+			hb := mustBuild("TraditionalStack", core.DefaultConfig(64<<20, 4<<20))
+			rb, err := fsim.RunWorkload(hb, kind, fsim.BlockJournal, w, ops)
+			if err != nil {
+				panic(err)
+			}
+			// FlatFlash: byte-granular persistence.
+			hf := mustBuild("FlatFlash", core.DefaultConfig(64<<20, 4<<20))
+			rf, err := fsim.RunWorkload(hf, kind, fsim.BytePersist, w, ops)
+			if err != nil {
+				panic(err)
+			}
+			row = append(row, ratio(float64(rb.Elapsed), float64(rf.Elapsed)))
+			if rf.FlashProgramsDelta > 0 {
+				wear = append(wear, fmt.Sprintf("%.1fx", float64(rb.FlashProgramsDelta)/float64(rf.FlashProgramsDelta)))
+			} else if rb.FlashProgramsDelta > 0 {
+				wear = append(wear, fmt.Sprintf(">%dx", rb.FlashProgramsDelta))
+			} else {
+				wear = append(wear, "1.0x")
+			}
+		}
+		rep.AddRow(append(row, wear...)...)
+	}
+	rep.AddNote("paper: 2.6-18.9x speedups (EXT4/XFS/BtrFS across these workloads); wear = flash-program reduction (lifetime)")
+	return rep
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flatflash/internal/core"
+	"flatflash/internal/gups"
+	"flatflash/internal/sim"
+)
+
+// Fig9a reproduces Figure 9a: HPCC-GUPS runtime (and page movements)
+// across the three systems. Paper: table 32 GB, DRAM 2 GB (16:1), FlatFlash
+// 1.5-1.6x faster than UnifiedMMap, 2.5-2.7x than TraditionalStack, with
+// 1.3-1.5x fewer page movements.
+func Fig9a(scale Scale) *Report {
+	const (
+		ssdBytes  = 64 << 20
+		dramBytes = 128 << 10
+	)
+	tableBytes := uint64(2 << 20) // 16x DRAM
+	updates := scale.pick(5000, 30000)
+
+	r := &Report{
+		ID:     "fig9a",
+		Title:  "HPCC-GUPS runtime and page movements (table 16x DRAM)",
+		Header: []string{"System", "Runtime", "GUPS", "PageMovements", "Slowdown vs FlatFlash"},
+	}
+	var ffElapsed sim.Duration
+	for _, name := range sysNames {
+		h := mustBuild(name, core.DefaultConfig(ssdBytes, dramBytes))
+		res, err := gups.Run(h, gups.Config{TableBytes: tableBytes, Updates: updates, Seed: 7})
+		if err != nil {
+			panic(err)
+		}
+		if name == "FlatFlash" {
+			ffElapsed = res.Elapsed
+		}
+		r.AddRow(name, res.Elapsed.String(), fmt.Sprintf("%.6f", res.GUPS),
+			fmt.Sprintf("%d", res.PageMovements),
+			ratio(float64(res.Elapsed), float64(ffElapsed)))
+	}
+	r.AddNote("paper: FlatFlash 1.5-1.6x over UnifiedMMap, 2.5-2.7x over TraditionalStack")
+	return r
+}
+
+// Fig9b reproduces Figure 9b: FlatFlash's speedup over the baselines as the
+// SSD-Cache grows, with SSD:DRAM fixed at 512.
+func Fig9b(scale Scale) *Report {
+	const (
+		ssdBytes  = 64 << 20
+		dramBytes = ssdBytes / 512
+	)
+	tableBytes := uint64(2 << 20)
+	updates := scale.pick(4000, 20000)
+	fractions := []float64{0.00125, 0.0025, 0.005, 0.01}
+
+	r := &Report{
+		ID:     "fig9b",
+		Title:  "GUPS speedup vs SSD-Cache size (SSD:DRAM=512)",
+		Header: []string{"SSD-Cache", "vs UnifiedMMap", "vs TraditionalStack"},
+	}
+	baseline := func(name string) sim.Duration {
+		h := mustBuild(name, core.DefaultConfig(ssdBytes, dramBytes))
+		res, err := gups.Run(h, gups.Config{TableBytes: tableBytes, Updates: updates, Seed: 7})
+		if err != nil {
+			panic(err)
+		}
+		return res.Elapsed
+	}
+	um := baseline("UnifiedMMap")
+	ts := baseline("TraditionalStack")
+	for _, f := range fractions {
+		cfg := core.DefaultConfig(ssdBytes, dramBytes)
+		cfg.SSDCacheFraction = f
+		h := mustBuild("FlatFlash", cfg)
+		res, err := gups.Run(h, gups.Config{TableBytes: tableBytes, Updates: updates, Seed: 7})
+		if err != nil {
+			panic(err)
+		}
+		r.AddRow(fmt.Sprintf("%.3f%%", f*100),
+			ratio(float64(um), float64(res.Elapsed)),
+			ratio(float64(ts), float64(res.Elapsed)))
+	}
+	r.AddNote("paper: speedup increases with SSD-Cache size (baselines cannot use the in-SSD DRAM)")
+	return r
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flatflash/internal/core"
+	"flatflash/internal/sim"
+)
+
+// sysName labels for the three hierarchies, in the paper's order.
+var sysNames = []string{"FlatFlash", "UnifiedMMap", "TraditionalStack"}
+
+// build constructs one hierarchy by name from cfg.
+func build(name string, cfg core.Config) (core.Hierarchy, error) {
+	switch name {
+	case "FlatFlash":
+		return core.NewFlatFlash(cfg)
+	case "UnifiedMMap":
+		return core.NewUnifiedMMap(cfg)
+	case "TraditionalStack":
+		return core.NewTraditionalStack(cfg)
+	default:
+		return nil, fmt.Errorf("experiments: unknown system %q", name)
+	}
+}
+
+// mustBuild panics on construction failure (configs are internal constants).
+func mustBuild(name string, cfg core.Config) core.Hierarchy {
+	h, err := build(name, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// ratio formats a/b as "N.NNx" (guarding zero).
+func ratio(a, b float64) string {
+	if b == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", a/b)
+}
+
+// us formats a duration in microseconds.
+func us(d sim.Duration) string { return fmt.Sprintf("%.2fµs", d.Micros()) }
+
+// mb formats a byte count in MB/GB.
+func mb(b uint64) string {
+	if b >= 1<<30 {
+		return fmt.Sprintf("%dGB", b>>30)
+	}
+	if b >= 1<<20 {
+		return fmt.Sprintf("%dMB", b>>20)
+	}
+	return fmt.Sprintf("%dKB", b>>10)
+}

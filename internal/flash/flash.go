@@ -1,0 +1,223 @@
+// Package flash implements a functional NAND flash device model: pages
+// grouped into erase blocks spread across parallel channels, with the
+// erase-before-program constraint, per-block wear counters, and virtual-time
+// latencies for read, program, and erase operations.
+//
+// The device stores real bytes (allocated lazily per page), so the layers
+// above it — FTL, SSD-Cache, the FlatFlash hierarchy — can be tested for
+// functional correctness, not just timing.
+package flash
+
+import (
+	"errors"
+	"fmt"
+
+	"flatflash/internal/sim"
+)
+
+// PageAddr identifies a physical flash page on the device.
+type PageAddr uint32
+
+// InvalidPage is a sentinel for "no page".
+const InvalidPage = PageAddr(^uint32(0))
+
+// Errors returned by the device.
+var (
+	ErrOutOfRange    = errors.New("flash: page address out of range")
+	ErrNotErased     = errors.New("flash: program to a page that is not erased")
+	ErrBadPageSize   = errors.New("flash: data length does not match page size")
+	ErrBlockOutRange = errors.New("flash: block index out of range")
+)
+
+// Config describes the device geometry and timing.
+type Config struct {
+	PageSize       int          // bytes per page
+	PagesPerBlock  int          // pages per erase block
+	Blocks         int          // total erase blocks
+	Channels       int          // independent channels (parallelism)
+	ReadLatency    sim.Duration // page read (cell-to-register + transfer)
+	ProgramLatency sim.Duration
+	EraseLatency   sim.Duration
+}
+
+// DefaultConfig returns a small, fast NAND geometry with the 20 µs device
+// latency the paper uses as its default flash latency (Fig 14d's rightmost
+// point; Z-SSD-class).
+func DefaultConfig() Config {
+	return Config{
+		PageSize:       4096,
+		PagesPerBlock:  64,
+		Blocks:         1024,
+		Channels:       8,
+		ReadLatency:    sim.Micros(20),
+		ProgramLatency: sim.Micros(20),
+		EraseLatency:   sim.Micros(100),
+	}
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.PageSize <= 0:
+		return fmt.Errorf("flash: PageSize %d", c.PageSize)
+	case c.PagesPerBlock <= 0:
+		return fmt.Errorf("flash: PagesPerBlock %d", c.PagesPerBlock)
+	case c.Blocks <= 0:
+		return fmt.Errorf("flash: Blocks %d", c.Blocks)
+	case c.Channels <= 0:
+		return fmt.Errorf("flash: Channels %d", c.Channels)
+	case c.ReadLatency <= 0 || c.ProgramLatency <= 0 || c.EraseLatency <= 0:
+		return errors.New("flash: non-positive latency")
+	}
+	return nil
+}
+
+// Capacity returns the device capacity in bytes.
+func (c Config) Capacity() uint64 {
+	return uint64(c.PageSize) * uint64(c.PagesPerBlock) * uint64(c.Blocks)
+}
+
+// TotalPages returns the number of physical pages.
+func (c Config) TotalPages() int { return c.PagesPerBlock * c.Blocks }
+
+type pageState uint8
+
+const (
+	pageErased pageState = iota
+	pageProgrammed
+)
+
+// Device is a NAND flash device.
+type Device struct {
+	cfg    Config
+	data   [][]byte // nil until first program after an erase
+	state  []pageState
+	erases []int64 // per-block erase count (wear)
+	chans  []*sim.Resource
+
+	reads, programs int64
+}
+
+// NewDevice builds a device from cfg; all blocks start erased.
+func NewDevice(cfg Config) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{
+		cfg:    cfg,
+		data:   make([][]byte, cfg.TotalPages()),
+		state:  make([]pageState, cfg.TotalPages()),
+		erases: make([]int64, cfg.Blocks),
+		chans:  make([]*sim.Resource, cfg.Channels),
+	}
+	for i := range d.chans {
+		d.chans[i] = sim.NewResource()
+	}
+	return d, nil
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// BlockOf returns the erase block containing page p.
+func (d *Device) BlockOf(p PageAddr) int { return int(p) / d.cfg.PagesPerBlock }
+
+func (d *Device) channelOf(p PageAddr) *sim.Resource {
+	return d.chans[d.BlockOf(p)%d.cfg.Channels]
+}
+
+func (d *Device) checkPage(p PageAddr) error {
+	if int(p) >= d.cfg.TotalPages() {
+		return ErrOutOfRange
+	}
+	return nil
+}
+
+// Read copies page p into buf (which must be PageSize long) and returns the
+// virtual time at which the data is available. Reading an erased page yields
+// all-0xFF bytes, as real NAND does.
+func (d *Device) Read(now sim.Time, p PageAddr, buf []byte) (sim.Time, error) {
+	if err := d.checkPage(p); err != nil {
+		return now, err
+	}
+	if len(buf) != d.cfg.PageSize {
+		return now, ErrBadPageSize
+	}
+	_, done := d.channelOf(p).Acquire(now, d.cfg.ReadLatency)
+	if d.state[p] == pageErased || d.data[p] == nil {
+		for i := range buf {
+			buf[i] = 0xFF
+		}
+	} else {
+		copy(buf, d.data[p])
+	}
+	d.reads++
+	return done, nil
+}
+
+// Program writes data (PageSize bytes) into erased page p and returns the
+// completion time. Programming a non-erased page fails, enforcing the NAND
+// erase-before-program invariant the FTL exists to manage.
+func (d *Device) Program(now sim.Time, p PageAddr, data []byte) (sim.Time, error) {
+	if err := d.checkPage(p); err != nil {
+		return now, err
+	}
+	if len(data) != d.cfg.PageSize {
+		return now, ErrBadPageSize
+	}
+	if d.state[p] != pageErased {
+		return now, ErrNotErased
+	}
+	_, done := d.channelOf(p).Acquire(now, d.cfg.ProgramLatency)
+	buf := make([]byte, d.cfg.PageSize)
+	copy(buf, data)
+	d.data[p] = buf
+	d.state[p] = pageProgrammed
+	d.programs++
+	return done, nil
+}
+
+// Erase erases block b, returning all its pages to the erased state, and
+// returns the completion time. Each erase increments the block's wear count.
+func (d *Device) Erase(now sim.Time, b int) (sim.Time, error) {
+	if b < 0 || b >= d.cfg.Blocks {
+		return now, ErrBlockOutRange
+	}
+	first := PageAddr(b * d.cfg.PagesPerBlock)
+	_, done := d.channelOf(first).Acquire(now, d.cfg.EraseLatency)
+	for i := 0; i < d.cfg.PagesPerBlock; i++ {
+		p := first + PageAddr(i)
+		d.state[p] = pageErased
+		d.data[p] = nil
+	}
+	d.erases[b]++
+	return done, nil
+}
+
+// IsErased reports whether page p is in the erased state.
+func (d *Device) IsErased(p PageAddr) bool {
+	return d.checkPage(p) == nil && d.state[p] == pageErased
+}
+
+// Wear returns total erase count, max per-block erase count, and total
+// program count — the inputs to the paper's SSD-lifetime comparisons.
+func (d *Device) Wear() (totalErases, maxBlockErases, programs int64) {
+	for _, e := range d.erases {
+		totalErases += e
+		if e > maxBlockErases {
+			maxBlockErases = e
+		}
+	}
+	return totalErases, maxBlockErases, d.programs
+}
+
+// Reads returns the total page reads served.
+func (d *Device) Reads() int64 { return d.reads }
+
+// BlockErases returns the erase count of block b (0 for out-of-range).
+func (d *Device) BlockErases(b int) int64 {
+	if b < 0 || b >= d.cfg.Blocks {
+		return 0
+	}
+	return d.erases[b]
+}

@@ -1,0 +1,230 @@
+package flash
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"flatflash/internal/sim"
+)
+
+func testConfig() Config {
+	c := DefaultConfig()
+	c.Blocks = 16
+	c.PagesPerBlock = 8
+	c.PageSize = 256
+	c.Channels = 2
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.PageSize = 0 },
+		func(c *Config) { c.PagesPerBlock = -1 },
+		func(c *Config) { c.Blocks = 0 },
+		func(c *Config) { c.Channels = 0 },
+		func(c *Config) { c.ReadLatency = 0 },
+		func(c *Config) { c.ProgramLatency = -1 },
+		func(c *Config) { c.EraseLatency = 0 },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+		if _, err := NewDevice(c); err == nil {
+			t.Errorf("case %d: NewDevice accepted invalid config", i)
+		}
+	}
+}
+
+func TestCapacityAndGeometry(t *testing.T) {
+	c := testConfig()
+	if c.Capacity() != 256*8*16 {
+		t.Fatalf("capacity = %d", c.Capacity())
+	}
+	if c.TotalPages() != 128 {
+		t.Fatalf("pages = %d", c.TotalPages())
+	}
+	d, _ := NewDevice(c)
+	if d.BlockOf(0) != 0 || d.BlockOf(7) != 0 || d.BlockOf(8) != 1 {
+		t.Fatal("BlockOf wrong")
+	}
+}
+
+func TestEraseBeforeProgram(t *testing.T) {
+	d, _ := NewDevice(testConfig())
+	data := bytes.Repeat([]byte{0xAB}, 256)
+	if _, err := d.Program(0, 3, data); err != nil {
+		t.Fatalf("program erased page: %v", err)
+	}
+	if _, err := d.Program(0, 3, data); err != ErrNotErased {
+		t.Fatalf("double program: err=%v, want ErrNotErased", err)
+	}
+	if _, err := d.Erase(0, 0); err != nil {
+		t.Fatalf("erase: %v", err)
+	}
+	if !d.IsErased(3) {
+		t.Fatal("page not erased after block erase")
+	}
+	if _, err := d.Program(0, 3, data); err != nil {
+		t.Fatalf("program after erase: %v", err)
+	}
+}
+
+func TestReadBackAndErasedPattern(t *testing.T) {
+	d, _ := NewDevice(testConfig())
+	buf := make([]byte, 256)
+	if _, err := d.Read(0, 5, buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0xFF {
+			t.Fatal("erased page must read as 0xFF")
+		}
+	}
+	want := bytes.Repeat([]byte{0x5C}, 256)
+	d.Program(0, 5, want)
+	// Mutating the caller's buffer must not corrupt the stored page.
+	want2 := append([]byte(nil), want...)
+	want[0] = 0
+	d.Read(0, 5, buf)
+	if !bytes.Equal(buf, want2) {
+		t.Fatal("read-back mismatch (device aliased caller buffer?)")
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	d, _ := NewDevice(testConfig())
+	buf := make([]byte, 256)
+	if _, err := d.Read(0, 10000, buf); err != ErrOutOfRange {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := d.Read(0, 0, make([]byte, 10)); err != ErrBadPageSize {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := d.Program(0, 10000, buf); err != ErrOutOfRange {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := d.Program(0, 0, make([]byte, 10)); err != ErrBadPageSize {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := d.Erase(0, -1); err != ErrBlockOutRange {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := d.Erase(0, 99); err != ErrBlockOutRange {
+		t.Fatalf("err = %v", err)
+	}
+	if d.IsErased(PageAddr(10000)) {
+		t.Fatal("out-of-range page reported erased")
+	}
+}
+
+func TestLatencyAndChannelContention(t *testing.T) {
+	c := testConfig()
+	c.Channels = 1 // force full serialization
+	d, _ := NewDevice(c)
+	data := make([]byte, 256)
+	done1, _ := d.Program(0, 0, data)
+	if done1 != sim.Time(c.ProgramLatency) {
+		t.Fatalf("first program done at %d", done1)
+	}
+	// Issued at the same instant, the second op queues behind the first.
+	buf := make([]byte, 256)
+	done2, _ := d.Read(0, 0, buf)
+	if done2 != done1.Add(c.ReadLatency) {
+		t.Fatalf("second op done at %d, want %d", done2, done1.Add(c.ReadLatency))
+	}
+	// With 2 channels, ops on different channels proceed in parallel.
+	d2, _ := NewDevice(testConfig())
+	a, _ := d2.Program(0, 0, data)           // block 0 -> channel 0
+	b, _ := d2.Program(0, PageAddr(8), data) // block 1 -> channel 1
+	if a != b {
+		t.Fatalf("parallel channels serialized: %d vs %d", a, b)
+	}
+}
+
+func TestWearAccounting(t *testing.T) {
+	d, _ := NewDevice(testConfig())
+	data := make([]byte, 256)
+	d.Program(0, 0, data)
+	d.Program(0, 1, data)
+	d.Erase(0, 0)
+	d.Erase(0, 0)
+	d.Erase(0, 1)
+	total, maxBlk, progs := d.Wear()
+	if total != 3 || maxBlk != 2 || progs != 2 {
+		t.Fatalf("wear = (%d,%d,%d)", total, maxBlk, progs)
+	}
+	buf := make([]byte, 256)
+	d.Read(0, 0, buf)
+	if d.Reads() != 1 {
+		t.Fatalf("reads = %d", d.Reads())
+	}
+}
+
+// Property: whatever sequence of program/erase operations runs, a Read of a
+// programmed page always returns exactly the last data programmed into it
+// since its containing block's last erase.
+func TestReadYourWritesProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		cfg := testConfig()
+		d, _ := NewDevice(cfg)
+		rng := sim.NewRNG(seed)
+		shadow := make(map[PageAddr][]byte)
+		var now sim.Time
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(3) {
+			case 0: // program a random erased page
+				p := PageAddr(rng.Intn(cfg.TotalPages()))
+				if !d.IsErased(p) {
+					continue
+				}
+				data := make([]byte, cfg.PageSize)
+				for i := range data {
+					data[i] = byte(rng.Uint64())
+				}
+				done, err := d.Program(now, p, data)
+				if err != nil {
+					return false
+				}
+				now = done
+				shadow[p] = data
+			case 1: // erase a random block
+				b := rng.Intn(cfg.Blocks)
+				done, _ := d.Erase(now, b)
+				now = done
+				for i := 0; i < cfg.PagesPerBlock; i++ {
+					delete(shadow, PageAddr(b*cfg.PagesPerBlock+i))
+				}
+			case 2: // verify a random page
+				p := PageAddr(rng.Intn(cfg.TotalPages()))
+				buf := make([]byte, cfg.PageSize)
+				done, err := d.Read(now, p, buf)
+				if err != nil {
+					return false
+				}
+				now = done
+				if want, ok := shadow[p]; ok {
+					if !bytes.Equal(buf, want) {
+						return false
+					}
+				} else {
+					for _, x := range buf {
+						if x != 0xFF {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

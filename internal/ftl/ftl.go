@@ -1,0 +1,414 @@
+// Package ftl implements a page-level flash translation layer over the NAND
+// device model: logical-to-physical mapping, sequential allocation into an
+// active block, greedy garbage collection with the paper's read-modify-write
+// merge of dirty SSD-Cache pages (§4), write-amplification accounting, and
+// the lazy, batched PTE/TLB remap propagation FlatFlash uses when GC moves
+// pages (one interrupt per relocation batch).
+//
+// In FlatFlash the FTL's mapping is merged into the host page table (§3.2,
+// following FlashMap). This package therefore exposes stable logical page
+// numbers to the host layers: the host PTE stores the SSD page identifier,
+// and physical relocation by GC is absorbed here, exactly as the paper's
+// in-SSD forwarding table does, with the batched-interrupt cost surfaced in
+// RemapStats.
+package ftl
+
+import (
+	"errors"
+	"fmt"
+
+	"flatflash/internal/flash"
+	"flatflash/internal/sim"
+)
+
+// Errors returned by the FTL.
+var (
+	ErrNoSpace    = errors.New("ftl: device full (overprovisioning exhausted)")
+	ErrOutOfRange = errors.New("ftl: logical page out of range")
+)
+
+const noLogical = int32(-1)
+
+// DirtySource lets garbage collection merge newer page contents held dirty
+// in the SSD-Cache (the paper's read-modify-write GC). TakeDirty returns the
+// up-to-date contents of logical page lpn and marks the cached copy clean,
+// or reports false if the cache holds nothing newer.
+type DirtySource interface {
+	TakeDirty(lpn uint32) ([]byte, bool)
+}
+
+// Config parameterizes the FTL.
+type Config struct {
+	Flash flash.Config
+	// OverprovisionBlocks is the number of physical blocks hidden from the
+	// logical capacity and reserved for GC headroom.
+	OverprovisionBlocks int
+	// GCFreeBlocksLow triggers garbage collection when the free-block pool
+	// falls to this size.
+	GCFreeBlocksLow int
+	// WearLeveling makes GC victim selection wear-aware: among candidate
+	// blocks, higher erase counts penalize selection so erases spread
+	// evenly. Disabled, victims are chosen greedily by valid count alone.
+	WearLeveling bool
+	// WearWeight is how many valid pages one erase of wear is "worth" when
+	// WearLeveling is on (default 2 when zero).
+	WearWeight int
+}
+
+// DefaultConfig returns an FTL over flash.DefaultConfig with 1/8 of blocks
+// overprovisioned.
+func DefaultConfig() Config {
+	fc := flash.DefaultConfig()
+	return Config{
+		Flash:               fc,
+		OverprovisionBlocks: fc.Blocks / 8,
+		GCFreeBlocksLow:     2,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Flash.Validate(); err != nil {
+		return err
+	}
+	if c.OverprovisionBlocks < 1 || c.OverprovisionBlocks >= c.Flash.Blocks {
+		return fmt.Errorf("ftl: OverprovisionBlocks %d of %d", c.OverprovisionBlocks, c.Flash.Blocks)
+	}
+	if c.GCFreeBlocksLow < 1 || c.GCFreeBlocksLow > c.OverprovisionBlocks {
+		return fmt.Errorf("ftl: GCFreeBlocksLow %d", c.GCFreeBlocksLow)
+	}
+	return nil
+}
+
+// RemapStats reports GC relocation activity and the cost FlatFlash pays to
+// lazily propagate new mappings to host PTEs/TLBs in batches (§4).
+type RemapStats struct {
+	Relocations     int64 // pages moved by GC
+	BatchInterrupts int64 // one per GC pass that relocated pages
+	GCRuns          int64
+	ErasedBlocks    int64
+}
+
+// FTL is a page-mapped flash translation layer.
+type FTL struct {
+	cfg Config
+	dev *flash.Device
+
+	l2p        []flash.PageAddr // logical -> physical
+	p2l        []int32          // physical -> logical, noLogical if none
+	validCount []int            // valid pages per block
+	freeBlocks []int
+	active     int // active block, -1 if none
+	activeNext int // next page slot within active block
+
+	dirtySrc DirtySource
+	inGC     bool
+
+	hostWrites  int64 // page writes requested by the host layers
+	flashWrites int64 // page programs issued to the device
+	remap       RemapStats
+}
+
+// New builds an FTL (and its flash device) from cfg.
+func New(cfg Config) (*FTL, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	dev, err := flash.NewDevice(cfg.Flash)
+	if err != nil {
+		return nil, err
+	}
+	f := &FTL{
+		cfg:        cfg,
+		dev:        dev,
+		l2p:        make([]flash.PageAddr, cfg.LogicalPages()),
+		p2l:        make([]int32, cfg.Flash.TotalPages()),
+		validCount: make([]int, cfg.Flash.Blocks),
+		active:     -1,
+	}
+	for i := range f.l2p {
+		f.l2p[i] = flash.InvalidPage
+	}
+	for i := range f.p2l {
+		f.p2l[i] = noLogical
+	}
+	for b := 0; b < cfg.Flash.Blocks; b++ {
+		f.freeBlocks = append(f.freeBlocks, b)
+	}
+	return f, nil
+}
+
+// LogicalPages returns the number of logical pages the FTL exports: total
+// physical pages minus overprovisioning.
+func (c Config) LogicalPages() int {
+	return (c.Flash.Blocks - c.OverprovisionBlocks) * c.Flash.PagesPerBlock
+}
+
+// LogicalPages returns the exported logical capacity in pages.
+func (f *FTL) LogicalPages() int { return f.cfg.LogicalPages() }
+
+// Config returns the FTL configuration.
+func (f *FTL) Config() Config { return f.cfg }
+
+// PageSize returns the page size in bytes.
+func (f *FTL) PageSize() int { return f.cfg.Flash.PageSize }
+
+// Device exposes the underlying flash device (for wear statistics).
+func (f *FTL) Device() *flash.Device { return f.dev }
+
+// SetDirtySource registers the SSD-Cache hook used by read-modify-write GC.
+func (f *FTL) SetDirtySource(src DirtySource) { f.dirtySrc = src }
+
+// IsMapped reports whether logical page lpn has ever been written.
+func (f *FTL) IsMapped(lpn uint32) bool {
+	return int(lpn) < len(f.l2p) && f.l2p[lpn] != flash.InvalidPage
+}
+
+// ReadPage copies logical page lpn into buf and returns the completion
+// time. A never-written page reads as zeros, but still pays a full device
+// read: in the paper's setup the mapped file spans the whole SSD, so every
+// logical page exists on flash whether or not the experiment wrote it.
+func (f *FTL) ReadPage(now sim.Time, lpn uint32, buf []byte) (sim.Time, error) {
+	if int(lpn) >= len(f.l2p) {
+		return now, ErrOutOfRange
+	}
+	if len(buf) != f.cfg.Flash.PageSize {
+		return now, flash.ErrBadPageSize
+	}
+	p := f.l2p[lpn]
+	if p == flash.InvalidPage {
+		// Charge the device for reading the page's on-flash location (it
+		// holds file data the simulator models as zeros).
+		phys := flash.PageAddr(int(lpn) % f.cfg.Flash.TotalPages())
+		done, err := f.dev.Read(now, phys, buf)
+		if err != nil {
+			return now, err
+		}
+		for i := range buf {
+			buf[i] = 0
+		}
+		return done, nil
+	}
+	return f.dev.Read(now, p, buf)
+}
+
+// WritePage writes a full logical page and returns the completion time.
+// Out-of-place: the old physical page (if any) is invalidated and GC runs
+// when the free-block pool is low.
+func (f *FTL) WritePage(now sim.Time, lpn uint32, data []byte) (sim.Time, error) {
+	if int(lpn) >= len(f.l2p) {
+		return now, ErrOutOfRange
+	}
+	if len(data) != f.cfg.Flash.PageSize {
+		return now, flash.ErrBadPageSize
+	}
+	if !f.inGC {
+		f.hostWrites++
+		var err error
+		now, err = f.maybeGC(now)
+		if err != nil {
+			return now, err
+		}
+	}
+	p, err := f.allocSlot()
+	if err != nil {
+		return now, err
+	}
+	done, err := f.dev.Program(now, p, data)
+	if err != nil {
+		return now, err
+	}
+	f.flashWrites++
+	f.invalidate(lpn)
+	f.l2p[lpn] = p
+	f.p2l[p] = int32(lpn)
+	f.validCount[f.dev.BlockOf(p)]++
+	return done, nil
+}
+
+// Trim discards logical page lpn: subsequent reads return zeros and the old
+// physical page becomes garbage.
+func (f *FTL) Trim(lpn uint32) error {
+	if int(lpn) >= len(f.l2p) {
+		return ErrOutOfRange
+	}
+	f.invalidate(lpn)
+	f.l2p[lpn] = flash.InvalidPage
+	return nil
+}
+
+func (f *FTL) invalidate(lpn uint32) {
+	old := f.l2p[lpn]
+	if old == flash.InvalidPage {
+		return
+	}
+	f.p2l[old] = noLogical
+	f.validCount[f.dev.BlockOf(old)]--
+}
+
+// allocSlot hands out the next physical page in the active block, opening a
+// new free block when the active one fills.
+func (f *FTL) allocSlot() (flash.PageAddr, error) {
+	ppb := f.cfg.Flash.PagesPerBlock
+	if f.active == -1 || f.activeNext == ppb {
+		if len(f.freeBlocks) == 0 {
+			return flash.InvalidPage, ErrNoSpace
+		}
+		f.active = f.freeBlocks[0]
+		f.freeBlocks = f.freeBlocks[1:]
+		f.activeNext = 0
+	}
+	p := flash.PageAddr(f.active*ppb + f.activeNext)
+	f.activeNext++
+	return p, nil
+}
+
+// maybeGC runs greedy garbage collection until the free pool recovers above
+// the low-water mark. Victims are the blocks with the fewest valid pages;
+// valid pages are relocated (merging newer dirty data from the SSD-Cache —
+// the read/modify/write phases of §4) and the block is erased.
+func (f *FTL) maybeGC(now sim.Time) (sim.Time, error) {
+	for len(f.freeBlocks) <= f.cfg.GCFreeBlocksLow {
+		victim := f.pickVictim()
+		if victim == -1 {
+			return now, nil // nothing reclaimable
+		}
+		var err error
+		now, err = f.collect(now, victim)
+		if err != nil {
+			return now, err
+		}
+	}
+	return now, nil
+}
+
+// pickVictim returns the garbage-collection victim: the non-active,
+// non-free block with the lowest cost, or -1 if no block would yield free
+// space. Cost is the valid-page count (pages that must be relocated), plus
+// a wear penalty when wear-leveling is enabled so hot blocks rest.
+func (f *FTL) pickVictim() int {
+	free := make(map[int]bool, len(f.freeBlocks))
+	for _, b := range f.freeBlocks {
+		free[b] = true
+	}
+	weight := 0
+	if f.cfg.WearLeveling {
+		weight = f.cfg.WearWeight
+		if weight == 0 {
+			weight = 2
+		}
+	}
+	minWear := int64(0)
+	if weight > 0 {
+		first := true
+		for b := 0; b < f.cfg.Flash.Blocks; b++ {
+			if w := f.dev.BlockErases(b); first || w < minWear {
+				minWear, first = w, false
+			}
+		}
+	}
+	best := -1
+	bestCost := int64(1) << 62
+	for b := 0; b < f.cfg.Flash.Blocks; b++ {
+		if b == f.active || free[b] {
+			continue
+		}
+		if f.validCount[b] >= f.cfg.Flash.PagesPerBlock {
+			continue // erasing it frees nothing
+		}
+		cost := int64(f.validCount[b])
+		if weight > 0 {
+			cost += int64(weight) * (f.dev.BlockErases(b) - minWear)
+		}
+		if cost < bestCost {
+			best, bestCost = b, cost
+		}
+	}
+	return best
+}
+
+func (f *FTL) collect(now sim.Time, victim int) (sim.Time, error) {
+	f.inGC = true
+	defer func() { f.inGC = false }()
+
+	ppb := f.cfg.Flash.PagesPerBlock
+	first := flash.PageAddr(victim * ppb)
+	buf := make([]byte, f.cfg.Flash.PageSize)
+	moved := int64(0)
+	for i := 0; i < ppb; i++ {
+		p := first + flash.PageAddr(i)
+		lpn := f.p2l[p]
+		if lpn == noLogical {
+			continue
+		}
+		// Read phase — unless the SSD-Cache holds a newer dirty copy, in
+		// which case the modify phase substitutes it (read-modify-write GC).
+		var data []byte
+		if f.dirtySrc != nil {
+			if d, ok := f.dirtySrc.TakeDirty(uint32(lpn)); ok {
+				data = d
+			}
+		}
+		if data == nil {
+			done, err := f.dev.Read(now, p, buf)
+			if err != nil {
+				return now, err
+			}
+			now = done
+			data = buf
+		}
+		// Write phase: relocate into the active block.
+		done, err := f.writeRelocated(now, uint32(lpn), data)
+		if err != nil {
+			return now, err
+		}
+		now = done
+		moved++
+	}
+	done, err := f.dev.Erase(now, victim)
+	if err != nil {
+		return now, err
+	}
+	f.freeBlocks = append(f.freeBlocks, victim)
+	f.remap.GCRuns++
+	f.remap.ErasedBlocks++
+	f.remap.Relocations += moved
+	if moved > 0 {
+		// Lazy propagation of the new mappings to PTEs/TLBs happens in one
+		// batch per GC pass, via a single interrupt (§4).
+		f.remap.BatchInterrupts++
+	}
+	return done, nil
+}
+
+func (f *FTL) writeRelocated(now sim.Time, lpn uint32, data []byte) (sim.Time, error) {
+	p, err := f.allocSlot()
+	if err != nil {
+		return now, err
+	}
+	done, err := f.dev.Program(now, p, data)
+	if err != nil {
+		return now, err
+	}
+	f.flashWrites++
+	f.invalidate(lpn)
+	f.l2p[lpn] = p
+	f.p2l[p] = int32(lpn)
+	f.validCount[f.dev.BlockOf(p)]++
+	return done, nil
+}
+
+// WriteAmplification returns flash page programs divided by host page
+// writes, or 0 if the host has not written.
+func (f *FTL) WriteAmplification() float64 {
+	if f.hostWrites == 0 {
+		return 0
+	}
+	return float64(f.flashWrites) / float64(f.hostWrites)
+}
+
+// Writes returns (hostWrites, flashWrites) in page units.
+func (f *FTL) Writes() (host, flashProgs int64) { return f.hostWrites, f.flashWrites }
+
+// Remap returns GC relocation statistics.
+func (f *FTL) Remap() RemapStats { return f.remap }

@@ -1,0 +1,73 @@
+// Package gups implements the HPCC RandomAccess (GUPS) kernel the paper
+// uses as its memory-intensive HPC workload (§5.2): random read-modify-write
+// updates of 8-byte words in a table much larger than host DRAM.
+package gups
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"flatflash/internal/core"
+	"flatflash/internal/sim"
+)
+
+// Config parameterizes a GUPS run.
+type Config struct {
+	TableBytes uint64 // in-memory table size (spans the SSD region)
+	Updates    int    // number of random 8-byte updates
+	Seed       uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.TableBytes < 8 || c.Updates <= 0 {
+		return fmt.Errorf("gups: TableBytes %d Updates %d", c.TableBytes, c.Updates)
+	}
+	return nil
+}
+
+// Result reports a run.
+type Result struct {
+	Elapsed       sim.Duration
+	GUPS          float64 // giga-updates per (virtual) second
+	PageMovements int64
+	UpdatesDone   int
+}
+
+// Run executes the RandomAccess kernel against hierarchy h.
+func Run(h core.Hierarchy, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	region, err := h.Mmap(cfg.TableBytes)
+	if err != nil {
+		return Result{}, err
+	}
+	words := cfg.TableBytes / 8
+	rng := sim.NewRNG(cfg.Seed)
+	start := h.Now()
+	var buf [8]byte
+	for i := 0; i < cfg.Updates; i++ {
+		// The HPCC kernel: table[rand] ^= rand.
+		r := rng.Uint64()
+		addr := region.Base + (r%words)*8
+		if _, err := h.Read(addr, buf[:]); err != nil {
+			return Result{}, err
+		}
+		v := binary.LittleEndian.Uint64(buf[:]) ^ r
+		binary.LittleEndian.PutUint64(buf[:], v)
+		if _, err := h.Write(addr, buf[:]); err != nil {
+			return Result{}, err
+		}
+	}
+	elapsed := h.Now().Sub(start)
+	res := Result{
+		Elapsed:       elapsed,
+		PageMovements: h.Counters().Get("page_movements"),
+		UpdatesDone:   cfg.Updates,
+	}
+	if elapsed > 0 {
+		res.GUPS = float64(cfg.Updates) / elapsed.Seconds() / 1e9
+	}
+	return res, nil
+}

@@ -1,0 +1,90 @@
+package gups
+
+import (
+	"testing"
+
+	"flatflash/internal/core"
+)
+
+func hierarchies(t *testing.T) (core.Hierarchy, core.Hierarchy, core.Hierarchy) {
+	t.Helper()
+	// Paper ratios: SSD:DRAM = 512, so the 0.125% SSD-Cache is a meaningful
+	// fraction of DRAM (64 MB SSD -> 80 KB cache vs 128 KB DRAM).
+	cfg := core.DefaultConfig(64<<20, 128<<10)
+	ff, err := core.NewFlatFlash(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	um, err := core.NewUnifiedMMap(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := core.NewTraditionalStack(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ff, um, ts
+}
+
+func TestConfigValidate(t *testing.T) {
+	if (Config{TableBytes: 4, Updates: 10}).Validate() == nil {
+		t.Error("tiny table accepted")
+	}
+	if (Config{TableBytes: 1024, Updates: 0}).Validate() == nil {
+		t.Error("zero updates accepted")
+	}
+	ff, _, _ := hierarchies(t)
+	if _, err := Run(ff, Config{}); err == nil {
+		t.Error("Run accepted invalid config")
+	}
+}
+
+func TestRunProducesResult(t *testing.T) {
+	ff, _, _ := hierarchies(t)
+	res, err := Run(ff, Config{TableBytes: 2 << 20, Updates: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 || res.GUPS <= 0 || res.UpdatesDone != 500 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+// The headline claim of §5.2: on random-access GUPS, FlatFlash beats the
+// paging baselines and moves far fewer pages.
+func TestFlatFlashBeatsBaselinesOnGUPS(t *testing.T) {
+	ff, um, ts := hierarchies(t)
+	cfg := Config{TableBytes: 2 << 20, Updates: 3000, Seed: 7}
+	rff, err := Run(ff, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rum, err := Run(um, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts, err := Run(ts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rff.Elapsed >= rum.Elapsed {
+		t.Errorf("FlatFlash (%v) not faster than UnifiedMMap (%v)", rff.Elapsed, rum.Elapsed)
+	}
+	if rum.Elapsed >= rts.Elapsed {
+		t.Errorf("UnifiedMMap (%v) not faster than TraditionalStack (%v)", rum.Elapsed, rts.Elapsed)
+	}
+	if rff.PageMovements >= rum.PageMovements {
+		t.Errorf("FlatFlash moved %d pages, UnifiedMMap %d", rff.PageMovements, rum.PageMovements)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	ff1, _, _ := hierarchies(t)
+	ff2, _, _ := hierarchies(t)
+	cfg := Config{TableBytes: 1 << 20, Updates: 400, Seed: 3}
+	a, _ := Run(ff1, cfg)
+	b, _ := Run(ff2, cfg)
+	if a.Elapsed != b.Elapsed || a.PageMovements != b.PageMovements {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,157 @@
+package kvstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"flatflash/internal/core"
+)
+
+func newFF(t *testing.T) core.Hierarchy {
+	t.Helper()
+	h, err := core.NewFlatFlash(core.DefaultConfig(8<<20, 256<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Records: 0, Ops: 10, Workload: 'B'},
+		{Records: 10, Ops: 0, Workload: 'B'},
+		{Records: 10, Ops: 10, Workload: 'Z'},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestStoreGetPut(t *testing.T) {
+	st, err := Open(newFF(t), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec [RecordSize]byte
+	binary.LittleEndian.PutUint64(rec[:], 0xFEEDFACE)
+	if _, err := st.Put(7, rec[:]); err != nil {
+		t.Fatal(err)
+	}
+	var got [RecordSize]byte
+	if _, err := st.Get(7, got[:]); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:], rec[:]) {
+		t.Fatal("round trip failed")
+	}
+	if _, err := st.Get(999, got[:]); err != core.ErrOutOfRange {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := st.Put(999, rec[:]); err != core.ErrOutOfRange {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLoadPopulates(t *testing.T) {
+	st, _ := Open(newFF(t), 64)
+	if err := st.Load(64); err != nil {
+		t.Fatal(err)
+	}
+	var got [RecordSize]byte
+	st.Get(63, got[:])
+	if binary.LittleEndian.Uint64(got[:]) != 63^0xDEADBEEF {
+		t.Fatal("load pattern wrong")
+	}
+}
+
+func TestRunWorkloadB(t *testing.T) {
+	res, err := Run(newFF(t), Config{Records: 512, Ops: 2000, Workload: 'B', Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hist.Count() != 2000 {
+		t.Fatalf("samples = %d", res.Hist.Count())
+	}
+	if res.Avg <= 0 || res.P99 < res.P50 {
+		t.Fatalf("latencies wrong: %+v", res)
+	}
+	if res.HitRatio < 0 || res.HitRatio > 1 {
+		t.Fatal("hit ratio out of range")
+	}
+}
+
+func TestRunWorkloadDGrows(t *testing.T) {
+	res, err := Run(newFF(t), Config{Records: 512, Ops: 2000, Workload: 'D', Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hist.Count() == 0 {
+		t.Fatal("no samples")
+	}
+}
+
+// Tail latency: FlatFlash's p99 should beat the paging baselines' p99 on a
+// working set much larger than DRAM (Figure 11's claim).
+func TestTailLatencyBeatsBaselines(t *testing.T) {
+	// Paper ratios (§5.4): SSD:DRAM = 256, working set 16x DRAM; enough
+	// operations for the adaptive threshold to reach steady state (past
+	// the first ResetEpoch).
+	cfg := core.DefaultConfig(32<<20, 128<<10)
+	ff, _ := core.NewFlatFlash(cfg)
+	um, _ := core.NewUnifiedMMap(cfg)
+	run := Config{Records: 32768, Ops: 20000, Workload: 'B', Seed: 11}
+	rff, err := Run(ff, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rum, err := Run(um, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rff.P99 >= rum.P99 {
+		t.Errorf("FlatFlash p99 (%v) not better than UnifiedMMap (%v)", rff.P99, rum.P99)
+	}
+	if rff.PageMovements >= rum.PageMovements {
+		t.Errorf("page movements: ff=%d um=%d", rff.PageMovements, rum.PageMovements)
+	}
+}
+
+// The store runs unmodified on the baselines (the Hierarchy abstraction).
+func TestStoreOnBaselines(t *testing.T) {
+	for _, mk := range []func(core.Config) (core.Hierarchy, error){
+		core.NewUnifiedMMap, core.NewTraditionalStack,
+	} {
+		h, err := mk(core.DefaultConfig(8<<20, 256<<10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(h, Config{Records: 512, Ops: 1000, Workload: 'B', Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Hist.Count() != 1000 || res.Avg <= 0 {
+			t.Fatalf("%+v", res)
+		}
+		if res.HitRatio != 0 {
+			t.Fatal("baselines have no SSD-Cache hit ratio")
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	run := func() Result {
+		h, _ := core.NewFlatFlash(core.DefaultConfig(8<<20, 256<<10))
+		r, err := Run(h, Config{Records: 1024, Ops: 2000, Workload: 'B', Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.Avg != b.Avg || a.P99 != b.P99 || a.PageMovements != b.PageMovements {
+		t.Fatal("non-deterministic run")
+	}
+}

@@ -1,0 +1,219 @@
+package promote
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flatflash/internal/sim"
+)
+
+func TestInitialThresholdIsMax(t *testing.T) {
+	p := New(DefaultParams())
+	if p.Threshold() != 7 {
+		t.Fatalf("initial threshold = %d, want 7", p.Threshold())
+	}
+}
+
+func TestBadParamsPanic(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(Params{MaxThreshold: 0, ResetEpoch: 1}) },
+		func() { New(Params{MaxThreshold: 1, ResetEpoch: 0}) },
+		func() { NewFixed(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// A page whose counter climbs to the threshold triggers exactly one
+// promotion at the moment pageCnt == CurrThreshold.
+func TestPromotionFiresAtThreshold(t *testing.T) {
+	p := New(DefaultParams())
+	for cnt := 1; cnt <= 6; cnt++ {
+		if p.Update(cnt) {
+			t.Fatalf("promoted early at pageCnt=%d (threshold %d)", cnt, p.Threshold())
+		}
+	}
+	if !p.Update(7) {
+		t.Fatal("no promotion at pageCnt == CurrThreshold")
+	}
+	if p.Promotions() != 1 {
+		t.Fatalf("promotions = %d", p.Promotions())
+	}
+}
+
+// High page-reuse: many pages reach the threshold, currRatio rises above
+// HiRatio, and the threshold adapts downward (promote more eagerly).
+func TestThresholdDropsUnderHighReuse(t *testing.T) {
+	p := New(DefaultParams())
+	// Drive a stream where every page access pattern is "7 hits in a row":
+	// aggPromoted grows by 7 for every 7 accesses -> ratio -> 1 > HiRatio.
+	for page := 0; page < 50; page++ {
+		th := p.Threshold()
+		for cnt := 1; cnt <= th; cnt++ {
+			p.Update(cnt)
+		}
+	}
+	if p.Threshold() >= 7 {
+		t.Fatalf("threshold did not adapt down: %d", p.Threshold())
+	}
+}
+
+// Low page-reuse: pages are touched once; currRatio stays at 0 <= LwRatio
+// and the threshold stays pinned at MaxThreshold.
+func TestThresholdStaysUpUnderLowReuse(t *testing.T) {
+	p := New(DefaultParams())
+	for i := 0; i < 5000; i++ {
+		if p.Update(1) && p.Threshold() != 1 {
+			t.Fatal("single-touch page promoted under max threshold")
+		}
+	}
+	if p.Threshold() != 7 {
+		t.Fatalf("threshold = %d, want 7 under low reuse", p.Threshold())
+	}
+	if p.Promotions() != 0 {
+		t.Fatalf("promotions = %d, want 0", p.Promotions())
+	}
+}
+
+// The epoch reset restores CurrThreshold to MaxThreshold and clears the
+// promoted aggregate, seeding AccessCnt from NetAggCnt.
+func TestEpochReset(t *testing.T) {
+	params := DefaultParams()
+	params.ResetEpoch = 100
+	p := New(params)
+	// Push threshold down with heavy reuse first.
+	for page := 0; page < 10; page++ {
+		th := p.Threshold()
+		for cnt := 1; cnt <= th; cnt++ {
+			p.Update(cnt)
+		}
+	}
+	low := p.Threshold()
+	if low >= 7 {
+		t.Fatalf("setup failed: threshold %d", low)
+	}
+	// Now run past the epoch boundary.
+	for p.Epochs() == 0 {
+		p.Update(1)
+	}
+	if p.Threshold() != 7 {
+		t.Fatalf("threshold after epoch reset = %d, want 7", p.Threshold())
+	}
+}
+
+// AdjustCnt removes an evicted page's contribution; NetAggCnt never goes
+// negative even with mismatched calls.
+func TestAdjustCnt(t *testing.T) {
+	p := New(DefaultParams())
+	p.Update(1)
+	p.Update(2)
+	p.AdjustCnt(2)
+	p.AdjustCnt(100) // over-adjust: clamp, don't wrap
+	if p.netAggCnt != 0 {
+		t.Fatalf("netAggCnt = %d", p.netAggCnt)
+	}
+}
+
+// Hand-computed trace of Algorithm 1 with tiny parameters, checking the
+// threshold trajectory step by step.
+func TestAlgorithm1HandTrace(t *testing.T) {
+	p := New(Params{LwRatio: 0.25, HiRatio: 0.75, MaxThreshold: 3, ResetEpoch: 40})
+	// Access page A three times: cnt 1,2,3. At cnt=3 promote (ratio 3/3=1
+	// >= HiRatio and promoteFlag -> threshold 3->2).
+	if p.Update(1) || p.Update(2) {
+		t.Fatal("early promotion")
+	}
+	if !p.Update(3) {
+		t.Fatal("no promotion at threshold")
+	}
+	if p.Threshold() != 2 {
+		t.Fatalf("threshold after first promotion = %d, want 2", p.Threshold())
+	}
+	// Page B: cnt 1 (ratio 3/4 = 0.75 >= HiRatio but promoteFlag false ->
+	// threshold unchanged), cnt 2 -> promote (ratio (3+2)/5 = 1.0 ->
+	// threshold 2->1).
+	if p.Update(1) {
+		t.Fatal("unexpected promotion")
+	}
+	if p.Threshold() != 2 {
+		t.Fatalf("threshold moved without promoteFlag: %d", p.Threshold())
+	}
+	if !p.Update(2) {
+		t.Fatal("no promotion at threshold 2")
+	}
+	if p.Threshold() != 1 {
+		t.Fatalf("threshold = %d, want 1", p.Threshold())
+	}
+	// With threshold 1, every single-touch access promotes, so the ratio
+	// stays at 1 and the threshold CANNOT climb back on its own — this is
+	// the "slow unlearning" Algorithm 1's epoch reset exists to fix. Before
+	// the epoch boundary the threshold must still read 1...
+	for i := 0; i < 30; i++ { // accesses 6..35 < ResetEpoch=40
+		p.Update(1)
+		if p.Threshold() != 1 {
+			t.Fatalf("threshold unlearned without epoch reset: %d", p.Threshold())
+		}
+	}
+	// ...and after crossing ResetEpoch it resets to MaxThreshold.
+	for p.Epochs() == 0 {
+		p.Update(1)
+	}
+	if p.Threshold() != 3 {
+		t.Fatalf("threshold after epoch reset = %d, want 3", p.Threshold())
+	}
+}
+
+func TestFixedPolicy(t *testing.T) {
+	f := NewFixed(3)
+	if f.Update(1) || f.Update(2) {
+		t.Fatal("fixed promoted early")
+	}
+	if !f.Update(3) {
+		t.Fatal("fixed did not promote at threshold")
+	}
+	if f.Update(4) {
+		t.Fatal("fixed promoted past threshold")
+	}
+	f.AdjustCnt(3) // no-op, must not panic
+	if f.Threshold() != 3 || f.Promotions() != 1 {
+		t.Fatal("fixed accounting wrong")
+	}
+}
+
+// Property: CurrThreshold always stays within [1, MaxThreshold] for any
+// access stream.
+func TestThresholdBoundsProperty(t *testing.T) {
+	f := func(seed uint64, maxTh uint8, epoch uint16) bool {
+		mt := int(maxTh)%10 + 1
+		p := New(Params{LwRatio: 0.25, HiRatio: 0.75, MaxThreshold: mt, ResetEpoch: int64(epoch)%500 + 1})
+		rng := sim.NewRNG(seed)
+		cnt := make(map[int]int)
+		for i := 0; i < 2000; i++ {
+			pg := rng.Intn(40)
+			cnt[pg]++
+			promoted := p.Update(cnt[pg])
+			if promoted {
+				p.AdjustCnt(cnt[pg])
+				cnt[pg] = 0
+			}
+			if th := p.Threshold(); th < 1 || th > mt {
+				return false
+			}
+			if rng.Intn(10) == 0 { // random eviction
+				p.AdjustCnt(cnt[pg])
+				cnt[pg] = 0
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	var epoch Time
+	u := epoch.Add(Micros(4.8))
+	if got := u.Sub(epoch); got != 4800*Nanosecond {
+		t.Fatalf("Micros(4.8) = %v, want 4800ns", got)
+	}
+	if !epoch.Before(u) || !u.After(epoch) {
+		t.Fatal("ordering broken")
+	}
+	if u.Max(epoch) != u || epoch.Max(u) != u {
+		t.Fatal("Max broken")
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500 * Nanosecond, "500ns"},
+		{Micros(4.8), "4.80µs"},
+		{3 * Millisecond, "3.000ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	c.Advance(10 * Microsecond)
+	if c.Now() != Time(10*Microsecond) {
+		t.Fatalf("Now = %d", c.Now())
+	}
+	// Negative advances must be ignored.
+	c.Advance(-5 * Microsecond)
+	if c.Now() != Time(10*Microsecond) {
+		t.Fatal("negative advance moved the clock")
+	}
+	c.AdvanceTo(Time(5 * Microsecond)) // in the past: no-op
+	if c.Now() != Time(10*Microsecond) {
+		t.Fatal("AdvanceTo moved the clock backwards")
+	}
+	c.AdvanceTo(Time(20 * Microsecond))
+	if c.Now() != Time(20*Microsecond) {
+		t.Fatal("AdvanceTo failed")
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	r := NewResource()
+	// First arrival at t=0 for 10µs: no wait.
+	s, d := r.Acquire(0, 10*Microsecond)
+	if s != 0 || d != Time(10*Microsecond) {
+		t.Fatalf("first grant = (%d,%d)", s, d)
+	}
+	// Second arrival at t=2µs must queue until 10µs.
+	s, d = r.Acquire(Time(2*Microsecond), 5*Microsecond)
+	if s != Time(10*Microsecond) || d != Time(15*Microsecond) {
+		t.Fatalf("queued grant = (%d,%d)", s, d)
+	}
+	// Arrival after the resource went idle starts immediately.
+	s, d = r.Acquire(Time(100*Microsecond), Microsecond)
+	if s != Time(100*Microsecond) || d != Time(101*Microsecond) {
+		t.Fatalf("idle grant = (%d,%d)", s, d)
+	}
+	busy, waited := r.Utilization()
+	if busy != 16*Microsecond {
+		t.Errorf("busy = %v, want 16µs", busy)
+	}
+	if waited != 8*Microsecond {
+		t.Errorf("waited = %v, want 8µs", waited)
+	}
+	if r.Demands() != 3 {
+		t.Errorf("demands = %d, want 3", r.Demands())
+	}
+}
+
+// Property: grants from a Resource never overlap and never start before the
+// request time, for any request pattern.
+func TestResourceNoOverlapProperty(t *testing.T) {
+	f := func(seed uint64, nOps uint8) bool {
+		r := NewResource()
+		rng := NewRNG(seed)
+		var now Time
+		var prevDone Time
+		for i := 0; i < int(nOps)+1; i++ {
+			now = now.Add(Duration(rng.Intn(20)) * Microsecond)
+			dur := Duration(rng.Intn(10)+1) * Microsecond
+			start, done := r.Acquire(now, dur)
+			if start < now || start < prevDone || done != start.Add(dur) {
+				return false
+			}
+			prevDone = done
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a2 := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a2.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	rng := NewRNG(7)
+	const n, buckets = 100000, 10
+	var counts [buckets]int
+	for i := 0; i < n; i++ {
+		counts[rng.Intn(buckets)]++
+	}
+	for i, c := range counts {
+		if c < n/buckets*8/10 || c > n/buckets*12/10 {
+			t.Errorf("bucket %d grossly non-uniform: %d", i, c)
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	rng := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		f := rng.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}

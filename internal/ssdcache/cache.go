@@ -1,0 +1,298 @@
+// Package ssdcache implements the SSD-internal DRAM cache of FlatFlash
+// (§3.1, §3.4): a set-associative page cache in front of the NAND flash,
+// using Re-reference Interval Prediction (RRIP) replacement — chosen by the
+// paper for its hit rate on random page accesses — with per-page access
+// counters (Algorithm 1's PageCntArray) and dirty-page tracking for the
+// read-modify-write garbage collector.
+//
+// The cache occupies the controller DRAM freed by merging the FTL into the
+// host page table, and in FlatFlash it is battery-backed: dirty data that
+// reached it is persistent (§3.5). Crash semantics are modeled in the core
+// package; this package is the data structure.
+package ssdcache
+
+import (
+	"fmt"
+
+	"flatflash/internal/sim"
+)
+
+// ReplacementPolicy selects the victim-selection algorithm.
+type ReplacementPolicy int
+
+// Supported replacement policies. RRIP is the paper's choice; LRU exists as
+// the ablation baseline.
+const (
+	RRIP ReplacementPolicy = iota
+	LRU
+)
+
+// rrpvMax is the 2-bit RRPV ceiling ("distant re-reference").
+const rrpvMax = 3
+
+// rrpvInsert is the RRPV given to newly inserted pages ("long re-reference
+// interval"), per the RRIP paper's SRRIP-HP configuration.
+const rrpvInsert = 2
+
+// Config describes cache geometry.
+type Config struct {
+	Pages    int // total capacity in pages
+	Ways     int // associativity
+	PageSize int
+	Policy   ReplacementPolicy
+}
+
+// DefaultWays is the default associativity.
+const DefaultWays = 8
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.PageSize <= 0:
+		return fmt.Errorf("ssdcache: PageSize %d", c.PageSize)
+	case c.Ways <= 0:
+		return fmt.Errorf("ssdcache: Ways %d", c.Ways)
+	case c.Pages < c.Ways || c.Pages%c.Ways != 0:
+		return fmt.Errorf("ssdcache: Pages %d not a positive multiple of Ways %d", c.Pages, c.Ways)
+	}
+	return nil
+}
+
+// Entry is one cached page. PageCnt is Algorithm 1's per-page access
+// counter; the core's SSD-Cache manager increments it via Touch and the
+// promotion policy reads it.
+type Entry struct {
+	Valid   bool
+	LPN     uint32
+	Dirty   bool
+	PageCnt int
+	Data    []byte
+
+	rrpv uint8
+	used uint64 // LRU timestamp
+}
+
+// Victim is a page displaced from the cache.
+type Victim struct {
+	LPN     uint32
+	Dirty   bool
+	PageCnt int
+	Data    []byte
+}
+
+// Cache is the set-associative SSD-internal page cache.
+type Cache struct {
+	cfg   Config
+	sets  [][]Entry
+	nsets int
+	tick  uint64
+
+	hits, misses, evictions, dirtyEvicts int64
+}
+
+// New builds an empty cache.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nsets := cfg.Pages / cfg.Ways
+	c := &Cache{cfg: cfg, nsets: nsets, sets: make([][]Entry, nsets)}
+	for i := range c.sets {
+		c.sets[i] = make([]Entry, cfg.Ways)
+	}
+	return c, nil
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) setOf(lpn uint32) int { return int(lpn) % c.nsets }
+
+// Lookup finds lpn in the cache. On a hit it applies the replacement
+// policy's hit update (RRPV -> 0, or LRU timestamp) and returns the entry
+// for in-place read/write by the manager.
+func (c *Cache) Lookup(lpn uint32) (*Entry, bool) {
+	set := c.sets[c.setOf(lpn)]
+	for i := range set {
+		e := &set[i]
+		if e.Valid && e.LPN == lpn {
+			c.hits++
+			c.tick++
+			e.rrpv = 0
+			e.used = c.tick
+			return e, true
+		}
+	}
+	c.misses++
+	return nil, false
+}
+
+// Contains reports whether lpn is cached, without touching replacement
+// state or hit/miss counters.
+func (c *Cache) Contains(lpn uint32) bool {
+	set := c.sets[c.setOf(lpn)]
+	for i := range set {
+		if set[i].Valid && set[i].LPN == lpn {
+			return true
+		}
+	}
+	return false
+}
+
+// Touch increments the entry's page access counter (Algorithm 1's
+// PageCntArray[set][way]++) and returns the new value.
+func (c *Cache) Touch(e *Entry) int {
+	e.PageCnt++
+	return e.PageCnt
+}
+
+// Insert places a page into the cache (after a miss fill). If the target
+// set is full, a victim is selected by the configured policy and returned
+// (ok=true) so the manager can write it back if dirty and report its
+// PageCnt to Algorithm 1's ADJUST_CNT. The inserted entry is returned too.
+//
+// Inserting an LPN that is already present is a bug in the manager and
+// panics.
+func (c *Cache) Insert(lpn uint32, data []byte, dirty bool) (e *Entry, victim Victim, evicted bool) {
+	if len(data) != c.cfg.PageSize {
+		panic("ssdcache: bad page size on insert")
+	}
+	if c.Contains(lpn) {
+		panic("ssdcache: double insert")
+	}
+	si := c.setOf(lpn)
+	set := c.sets[si]
+	way := -1
+	for i := range set {
+		if !set[i].Valid {
+			way = i
+			break
+		}
+	}
+	if way == -1 {
+		way = c.victimWay(set)
+		v := &set[way]
+		victim = Victim{LPN: v.LPN, Dirty: v.Dirty, PageCnt: v.PageCnt, Data: v.Data}
+		evicted = true
+		c.evictions++
+		if v.Dirty {
+			c.dirtyEvicts++
+		}
+	}
+	c.tick++
+	buf := make([]byte, c.cfg.PageSize)
+	copy(buf, data)
+	set[way] = Entry{
+		Valid:   true,
+		LPN:     lpn,
+		Dirty:   dirty,
+		PageCnt: 0,
+		Data:    buf,
+		rrpv:    rrpvInsert,
+		used:    c.tick,
+	}
+	return &set[way], victim, evicted
+}
+
+// victimWay picks the way to evict from a full set.
+func (c *Cache) victimWay(set []Entry) int {
+	if c.cfg.Policy == LRU {
+		best, bestUsed := 0, set[0].used
+		for i := 1; i < len(set); i++ {
+			if set[i].used < bestUsed {
+				best, bestUsed = i, set[i].used
+			}
+		}
+		return best
+	}
+	// RRIP: evict the first entry with RRPV == max; if none, age everyone
+	// and retry (guaranteed to terminate within rrpvMax rounds).
+	for {
+		for i := range set {
+			if set[i].rrpv >= rrpvMax {
+				return i
+			}
+		}
+		for i := range set {
+			set[i].rrpv++
+		}
+	}
+}
+
+// Remove evicts lpn explicitly (promotion completion removes the page from
+// the SSD-Cache — its home is now host DRAM). It returns the removed page.
+func (c *Cache) Remove(lpn uint32) (Victim, bool) {
+	set := c.sets[c.setOf(lpn)]
+	for i := range set {
+		e := &set[i]
+		if e.Valid && e.LPN == lpn {
+			v := Victim{LPN: e.LPN, Dirty: e.Dirty, PageCnt: e.PageCnt, Data: e.Data}
+			*e = Entry{}
+			return v, true
+		}
+	}
+	return Victim{}, false
+}
+
+// TakeDirty implements ftl.DirtySource: if lpn is cached dirty, it returns
+// the data and marks the entry clean (GC is persisting it to flash).
+func (c *Cache) TakeDirty(lpn uint32) ([]byte, bool) {
+	set := c.sets[c.setOf(lpn)]
+	for i := range set {
+		e := &set[i]
+		if e.Valid && e.LPN == lpn && e.Dirty {
+			e.Dirty = false
+			out := make([]byte, len(e.Data))
+			copy(out, e.Data)
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+// DirtyPages returns the LPNs of all dirty entries (used by crash-recovery
+// and by periodic flushing).
+func (c *Cache) DirtyPages() []uint32 {
+	var out []uint32
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].Valid && set[i].Dirty {
+				out = append(out, set[i].LPN)
+			}
+		}
+	}
+	return out
+}
+
+// Stats returns hits, misses, evictions and dirty evictions.
+func (c *Cache) Stats() (hits, misses, evictions, dirtyEvicts int64) {
+	return c.hits, c.misses, c.evictions, c.dirtyEvicts
+}
+
+// HitRatio returns hits/(hits+misses), or 0 before any lookup.
+func (c *Cache) HitRatio() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// SizeFor returns the number of cache pages implied by the paper's sizing
+// rule — fraction (default 0.125%) of the SSD capacity — rounded up to a
+// multiple of ways and at least one set.
+func SizeFor(ssdBytes uint64, fraction float64, pageSize, ways int) int {
+	pages := int(float64(ssdBytes) * fraction / float64(pageSize))
+	if pages < ways {
+		pages = ways
+	}
+	if r := pages % ways; r != 0 {
+		pages += ways - r
+	}
+	return pages
+}
+
+// AccessCost is a helper shared by SSD controllers: the internal DRAM access
+// time for a cache hit inside the SSD. It is small compared to the PCIe
+// MMIO cost that dominates (§5, Table 2) but kept explicit for fidelity.
+const AccessCost = 200 * sim.Nanosecond

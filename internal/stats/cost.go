@@ -1,0 +1,41 @@
+package stats
+
+// CostModel reproduces the §5.7 cost analysis: DRAM at $30/GB, PCIe SSD at
+// $2/GB, and a $1,500 server base-cost premium for a DRAM-only configuration
+// (extra DIMM slots). Capacities are in bytes.
+type CostModel struct {
+	DRAMPerGB     float64 // $/GB of DRAM
+	SSDPerGB      float64 // $/GB of SSD
+	DRAMOnlyExtra float64 // fixed extra server cost for DRAM-only
+}
+
+// DefaultCostModel returns the paper's prices.
+func DefaultCostModel() CostModel {
+	return CostModel{DRAMPerGB: 30, SSDPerGB: 2, DRAMOnlyExtra: 1500}
+}
+
+const gb = float64(1 << 30)
+
+// FlatFlashCost prices a FlatFlash configuration holding the working set in
+// dramBytes of DRAM plus ssdBytes of SSD.
+func (m CostModel) FlatFlashCost(dramBytes, ssdBytes uint64) float64 {
+	return float64(dramBytes)/gb*m.DRAMPerGB + float64(ssdBytes)/gb*m.SSDPerGB
+}
+
+// DRAMOnlyCost prices a DRAM-only configuration hosting the entire working
+// set (the SSD capacity's worth of data) in DRAM.
+func (m CostModel) DRAMOnlyCost(totalBytes uint64) float64 {
+	return float64(totalBytes)/gb*m.DRAMPerGB + m.DRAMOnlyExtra
+}
+
+// CostEffectiveness computes the paper's Table 3 metric: given the DRAM-only
+// system's speedup over FlatFlash (slowdown >= 1) and the two costs, it
+// returns cost-saving (costDRAMOnly/costFlatFlash) and normalized
+// performance-per-dollar improvement (costSaving/slowdown).
+func CostEffectiveness(slowdown, costFlatFlash, costDRAMOnly float64) (costSaving, effectiveness float64) {
+	if costFlatFlash <= 0 || slowdown <= 0 {
+		return 0, 0
+	}
+	costSaving = costDRAMOnly / costFlatFlash
+	return costSaving, costSaving / slowdown
+}

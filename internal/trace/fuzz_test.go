@@ -1,0 +1,39 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse ensures the trace parser never panics and that anything it
+// accepts round-trips through WriteTo/Parse unchanged.
+func FuzzParse(f *testing.F) {
+	f.Add("R 0 64\nW 4096 8\nP 128 256\n")
+	f.Add("")
+	f.Add("R 18446744073709551615 1\n")
+	f.Add("X 1 1\n")
+	f.Add("R -1 5\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo of parsed trace: %v", err)
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of encoded trace: %v", err)
+		}
+		if len(back) != len(tr) {
+			t.Fatalf("round trip changed length: %d -> %d", len(tr), len(back))
+		}
+		for i := range tr {
+			if back[i] != tr[i] {
+				t.Fatalf("op %d changed: %+v -> %+v", i, tr[i], back[i])
+			}
+		}
+	})
+}

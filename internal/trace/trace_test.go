@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"flatflash/internal/core"
+)
+
+func TestRoundTripEncoding(t *testing.T) {
+	in := Trace{
+		{Kind: Read, Addr: 0, Size: 64},
+		{Kind: Write, Addr: 4096, Size: 8},
+		{Kind: Persist, Addr: 128, Size: 256},
+	}
+	var buf bytes.Buffer
+	if _, err := in.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("op %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"X 0 64\n",   // unknown op
+		"R 0 0\n",    // zero size
+		"R abc 64\n", // bad addr
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Errorf("parse accepted %q", c)
+		}
+	}
+	// Blank lines are fine.
+	tr, err := Parse(strings.NewReader("\nR 0 64\n\n"))
+	if err != nil || len(tr) != 1 {
+		t.Fatalf("blank-line handling: %v %d", err, len(tr))
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []GenConfig{
+		{Pattern: Uniform, Ops: 0, AccessSize: 64, Extent: 1 << 20},
+		{Pattern: Uniform, Ops: 10, AccessSize: 0, Extent: 1 << 20},
+		{Pattern: Uniform, Ops: 10, AccessSize: 64, Extent: 8},
+		{Pattern: Uniform, Ops: 10, AccessSize: 64, Extent: 1 << 20, WriteFrac: 2},
+		{Pattern: "bogus", Ops: 10, AccessSize: 64, Extent: 1 << 20},
+	}
+	for i, c := range bad {
+		if _, err := Generate(c); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestGeneratePatterns(t *testing.T) {
+	for _, p := range []Pattern{Sequential, Uniform, Zipfian, Strided} {
+		tr, err := Generate(GenConfig{
+			Pattern: p, Ops: 500, AccessSize: 64, Extent: 1 << 16, WriteFrac: 0.3, Seed: 2,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if len(tr) != 500 {
+			t.Fatalf("%s: ops = %d", p, len(tr))
+		}
+		writes := 0
+		for _, op := range tr {
+			if op.Addr+uint64(op.Size) > 1<<16 {
+				t.Fatalf("%s: op out of extent", p)
+			}
+			if op.Kind == Write {
+				writes++
+			}
+		}
+		if writes < 100 || writes > 200 {
+			t.Errorf("%s: writes = %d, want ~150", p, writes)
+		}
+	}
+	// Sequential really is sequential.
+	tr, _ := Generate(GenConfig{Pattern: Sequential, Ops: 4, AccessSize: 64, Extent: 1 << 16})
+	for i, op := range tr {
+		if op.Addr != uint64(i*64) {
+			t.Fatalf("sequential op %d at %d", i, op.Addr)
+		}
+	}
+}
+
+func TestReplay(t *testing.T) {
+	h, err := core.NewFlatFlash(core.DefaultConfig(8<<20, 256<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	region, err := h.Mmap(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := Generate(GenConfig{Pattern: Zipfian, Ops: 300, AccessSize: 64, Extent: 1 << 20, WriteFrac: 0.2, Seed: 3})
+	res, err := Replay(h, region, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 300 || res.Hist.Count() != 300 || res.Elapsed <= 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	// Out-of-region op fails cleanly.
+	if _, err := Replay(h, region, Trace{{Kind: Read, Addr: 1 << 30, Size: 8}}); err == nil {
+		t.Fatal("out-of-region op accepted")
+	}
+}
+
+// Persist ops replay against persistent regions.
+func TestReplayPersist(t *testing.T) {
+	h, _ := core.NewFlatFlash(core.DefaultConfig(8<<20, 256<<10))
+	region, err := h.MmapPersistent(64 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Trace{
+		{Kind: Write, Addr: 0, Size: 128},
+		{Kind: Persist, Addr: 0, Size: 128},
+	}
+	res, err := Replay(h, region, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 2 {
+		t.Fatal("persist replay failed")
+	}
+}

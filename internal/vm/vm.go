@@ -1,0 +1,205 @@
+// Package vm implements the virtual-memory side of FlatFlash (§3.2): a
+// unified page table whose entries can point either at host DRAM frames or
+// directly at SSD pages (the FlashMap-style merge of memory, storage, and
+// FTL translation into one layer), a TLB with the paper's shootdown/update
+// cost, and the reserved Persist PTE bit that marks pages of persistent
+// memory regions as never-promotable (§3.5).
+package vm
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+
+	"flatflash/internal/sim"
+)
+
+// Errors.
+var (
+	ErrUnmapped   = errors.New("vm: access to unmapped page")
+	ErrOutOfSpace = errors.New("vm: virtual address space exhausted")
+)
+
+// Location says where a virtual page's backing currently lives.
+type Location uint8
+
+// Page locations.
+const (
+	InSSD Location = iota
+	InDRAM
+)
+
+// PTE is a page-table entry of the unified translation layer. Exactly one
+// of Frame/SSDPage is meaningful depending on Loc. The paper's layout
+// (Figure 3b) keeps every mapped page Present — the point of FlatFlash is
+// that SSD-resident pages are accessed directly rather than faulted in.
+type PTE struct {
+	Present  bool
+	Loc      Location
+	Frame    int    // DRAM frame when Loc == InDRAM
+	SSDPage  uint32 // SSD page (merged FTL mapping) when Loc == InSSD
+	Persist  bool   // §3.5: page belongs to a pmem region; never promote
+	Dirty    bool
+	Accessed bool
+}
+
+// Config holds translation timing (Table 2).
+type Config struct {
+	PageSize      int
+	WalkLatency   sim.Duration // page-table walk: 0.7 µs
+	UpdateLatency sim.Duration // PTE + TLB entry update/shootdown: 1.4 µs
+	TLBEntries    int
+}
+
+// DefaultConfig returns the paper's translation costs and a 512-entry TLB.
+func DefaultConfig() Config {
+	return Config{
+		PageSize:      4096,
+		WalkLatency:   sim.Micros(0.7),
+		UpdateLatency: sim.Micros(1.4),
+		TLBEntries:    512,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.PageSize <= 0 || c.TLBEntries <= 0 {
+		return fmt.Errorf("vm: PageSize %d TLBEntries %d", c.PageSize, c.TLBEntries)
+	}
+	if c.WalkLatency <= 0 || c.UpdateLatency <= 0 {
+		return errors.New("vm: non-positive latency")
+	}
+	return nil
+}
+
+// AddressSpace is one process's unified page table plus TLB.
+type AddressSpace struct {
+	cfg   Config
+	pages []PTE // indexed by VPN
+	next  uint64
+
+	tlb        *tlb
+	walks      int64
+	tlbHits    int64
+	tlbMisses  int64
+	shootdowns int64
+}
+
+// New builds an empty address space able to map up to maxPages pages.
+func New(cfg Config, maxPages int) (*AddressSpace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if maxPages <= 0 {
+		return nil, fmt.Errorf("vm: maxPages %d", maxPages)
+	}
+	return &AddressSpace{
+		cfg:   cfg,
+		pages: make([]PTE, maxPages),
+		tlb:   newTLB(cfg.TLBEntries),
+	}, nil
+}
+
+// Config returns the configuration.
+func (a *AddressSpace) Config() Config { return a.cfg }
+
+// PageSize returns the page size.
+func (a *AddressSpace) PageSize() int { return a.cfg.PageSize }
+
+// Reserve allocates a contiguous run of n virtual pages and returns the
+// first VPN.
+func (a *AddressSpace) Reserve(n int) (uint64, error) {
+	if n <= 0 || a.next+uint64(n) > uint64(len(a.pages)) {
+		return 0, ErrOutOfSpace
+	}
+	vpn := a.next
+	a.next += uint64(n)
+	return vpn, nil
+}
+
+// Map installs a PTE for vpn.
+func (a *AddressSpace) Map(vpn uint64, pte PTE) {
+	pte.Present = true
+	a.pages[vpn] = pte
+}
+
+// PTEOf returns a pointer to vpn's entry for in-place updates by the
+// hierarchy (promotion completion, eviction).
+func (a *AddressSpace) PTEOf(vpn uint64) *PTE { return &a.pages[vpn] }
+
+// Translate resolves vpn, charging TLB-hit or page-walk latency, and
+// returns the PTE plus the translation delay. A missing mapping returns
+// ErrUnmapped.
+func (a *AddressSpace) Translate(vpn uint64) (*PTE, sim.Duration, error) {
+	if vpn >= uint64(len(a.pages)) || !a.pages[vpn].Present {
+		return nil, 0, ErrUnmapped
+	}
+	if a.tlb.lookup(vpn) {
+		a.tlbHits++
+		return &a.pages[vpn], 0, nil
+	}
+	a.tlbMisses++
+	a.walks++
+	a.tlb.insert(vpn)
+	return &a.pages[vpn], a.cfg.WalkLatency, nil
+}
+
+// UpdateMapping changes where vpn points (promotion completion or DRAM
+// eviction) and invalidates its TLB entry. It returns the PTE/TLB update
+// cost (Table 2's 1.4 µs), which the caller charges on or off the critical
+// path as the paper prescribes.
+func (a *AddressSpace) UpdateMapping(vpn uint64, pte PTE) sim.Duration {
+	pte.Present = true
+	a.pages[vpn] = pte
+	a.tlb.invalidate(vpn)
+	a.shootdowns++
+	return a.cfg.UpdateLatency
+}
+
+// Stats returns TLB hits, misses (= page walks), and shootdowns.
+func (a *AddressSpace) Stats() (tlbHits, tlbMisses, shootdowns int64) {
+	return a.tlbHits, a.tlbMisses, a.shootdowns
+}
+
+// MappedPages returns how many VPNs have been handed out by Reserve.
+func (a *AddressSpace) MappedPages() uint64 { return a.next }
+
+// tlb is a fully associative LRU TLB.
+type tlb struct {
+	cap  int
+	lru  *list.List
+	elem map[uint64]*list.Element
+}
+
+func newTLB(capacity int) *tlb {
+	return &tlb{cap: capacity, lru: list.New(), elem: make(map[uint64]*list.Element)}
+}
+
+func (t *tlb) lookup(vpn uint64) bool {
+	e, ok := t.elem[vpn]
+	if !ok {
+		return false
+	}
+	t.lru.MoveToFront(e)
+	return true
+}
+
+func (t *tlb) insert(vpn uint64) {
+	if e, ok := t.elem[vpn]; ok {
+		t.lru.MoveToFront(e)
+		return
+	}
+	if t.lru.Len() >= t.cap {
+		back := t.lru.Back()
+		t.lru.Remove(back)
+		delete(t.elem, back.Value.(uint64))
+	}
+	t.elem[vpn] = t.lru.PushFront(vpn)
+}
+
+func (t *tlb) invalidate(vpn uint64) {
+	if e, ok := t.elem[vpn]; ok {
+		t.lru.Remove(e)
+		delete(t.elem, vpn)
+	}
+}

@@ -1,0 +1,138 @@
+package vm
+
+import (
+	"testing"
+
+	"flatflash/internal/sim"
+)
+
+func testAS(t *testing.T) *AddressSpace {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.TLBEntries = 4
+	a, err := New(cfg, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range []Config{
+		{PageSize: 0, WalkLatency: 1, UpdateLatency: 1, TLBEntries: 4},
+		{PageSize: 4096, WalkLatency: 0, UpdateLatency: 1, TLBEntries: 4},
+		{PageSize: 4096, WalkLatency: 1, UpdateLatency: 0, TLBEntries: 4},
+		{PageSize: 4096, WalkLatency: 1, UpdateLatency: 1, TLBEntries: 0},
+	} {
+		if c.Validate() == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := New(DefaultConfig(), 0); err == nil {
+		t.Error("maxPages=0 accepted")
+	}
+}
+
+func TestReserveAndMap(t *testing.T) {
+	a := testAS(t)
+	vpn, err := a.Reserve(10)
+	if err != nil || vpn != 0 {
+		t.Fatalf("reserve = %d, %v", vpn, err)
+	}
+	vpn2, _ := a.Reserve(5)
+	if vpn2 != 10 {
+		t.Fatalf("second reserve = %d", vpn2)
+	}
+	if a.MappedPages() != 15 {
+		t.Fatalf("mapped = %d", a.MappedPages())
+	}
+	if _, err := a.Reserve(1000); err != ErrOutOfSpace {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := a.Reserve(0); err != ErrOutOfSpace {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTranslateUnmapped(t *testing.T) {
+	a := testAS(t)
+	if _, _, err := a.Translate(3); err != ErrUnmapped {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := a.Translate(1 << 40); err != ErrUnmapped {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTranslateChargesWalkThenTLBHit(t *testing.T) {
+	a := testAS(t)
+	a.Map(3, PTE{Loc: InSSD, SSDPage: 77})
+	pte, lat, err := a.Translate(3)
+	if err != nil || pte.SSDPage != 77 {
+		t.Fatalf("pte=%+v err=%v", pte, err)
+	}
+	if lat != sim.Micros(0.7) {
+		t.Fatalf("first translate latency = %v, want walk cost", lat)
+	}
+	_, lat, _ = a.Translate(3)
+	if lat != 0 {
+		t.Fatalf("TLB hit latency = %v, want 0", lat)
+	}
+	hits, misses, _ := a.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("tlb stats = %d/%d", hits, misses)
+	}
+}
+
+func TestTLBCapacityEviction(t *testing.T) {
+	a := testAS(t) // TLB holds 4
+	for vpn := uint64(0); vpn < 5; vpn++ {
+		a.Map(vpn, PTE{Loc: InSSD, SSDPage: uint32(vpn)})
+		a.Translate(vpn)
+	}
+	// vpn 0 was evicted by vpn 4: translating it again walks.
+	_, lat, _ := a.Translate(0)
+	if lat == 0 {
+		t.Fatal("expected TLB miss after capacity eviction")
+	}
+	// vpn 4 is still resident.
+	_, lat, _ = a.Translate(4)
+	if lat != 0 {
+		t.Fatal("expected TLB hit for recently used vpn")
+	}
+}
+
+func TestUpdateMappingShootsDownTLB(t *testing.T) {
+	a := testAS(t)
+	a.Map(3, PTE{Loc: InSSD, SSDPage: 9})
+	a.Translate(3) // now in TLB
+	cost := a.UpdateMapping(3, PTE{Loc: InDRAM, Frame: 2})
+	if cost != sim.Micros(1.4) {
+		t.Fatalf("update cost = %v", cost)
+	}
+	pte, lat, _ := a.Translate(3)
+	if lat == 0 {
+		t.Fatal("TLB entry survived shootdown")
+	}
+	if pte.Loc != InDRAM || pte.Frame != 2 {
+		t.Fatalf("pte after update = %+v", pte)
+	}
+	_, _, sd := a.Stats()
+	if sd != 1 {
+		t.Fatalf("shootdowns = %d", sd)
+	}
+}
+
+func TestPTEOfInPlaceUpdate(t *testing.T) {
+	a := testAS(t)
+	a.Map(5, PTE{Loc: InSSD, SSDPage: 1, Persist: true})
+	p := a.PTEOf(5)
+	p.Dirty = true
+	got, _, _ := a.Translate(5)
+	if !got.Dirty || !got.Persist {
+		t.Fatal("in-place PTE update lost")
+	}
+}

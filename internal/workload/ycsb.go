@@ -1,0 +1,74 @@
+package workload
+
+import "flatflash/internal/sim"
+
+// OpKind is a YCSB operation type.
+type OpKind int
+
+// YCSB operation kinds.
+const (
+	OpRead OpKind = iota
+	OpUpdate
+	OpInsert
+)
+
+// Op is one generated YCSB operation.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+}
+
+// YCSB generates operations for the two workloads the paper evaluates
+// against Redis (§5.4):
+//
+//   - Workload B: 95% reads, 5% updates, Zipfian key popularity
+//     (photo-tagging).
+//   - Workload D: 95% reads, 5% inserts, latest-distribution reads
+//     (social-media status updates).
+type YCSB struct {
+	kind    byte // 'B' or 'D'
+	rng     *sim.RNG
+	zipf    *ScrambledZipf
+	latest  *Latest
+	records uint64
+}
+
+// NewYCSB returns a generator for workload kind ('B' or 'D') over an initial
+// key space of records keys. theta controls the Zipfian skew.
+func NewYCSB(kind byte, rng *sim.RNG, records uint64, theta float64) *YCSB {
+	y := &YCSB{kind: kind, rng: rng, records: records}
+	switch kind {
+	case 'B':
+		y.zipf = NewScrambledZipf(rng, records, theta)
+	case 'D':
+		y.latest = NewLatest(rng, records, theta)
+	default:
+		panic("workload: YCSB kind must be 'B' or 'D'")
+	}
+	return y
+}
+
+// Next returns the next operation.
+func (y *YCSB) Next() Op {
+	r := y.rng.Float64()
+	switch y.kind {
+	case 'B':
+		if r < 0.05 {
+			return Op{Kind: OpUpdate, Key: y.zipf.Next()}
+		}
+		return Op{Kind: OpRead, Key: y.zipf.Next()}
+	default: // 'D'
+		if r < 0.05 {
+			return Op{Kind: OpInsert, Key: y.latest.Insert()}
+		}
+		return Op{Kind: OpRead, Key: y.latest.Next()}
+	}
+}
+
+// Records returns the current number of records (grows under workload D).
+func (y *YCSB) Records() uint64 {
+	if y.latest != nil {
+		return y.latest.Tail()
+	}
+	return y.records
+}
