@@ -1,0 +1,28 @@
+# Tier-1 verification gate (see ROADMAP.md). `make ci` is what every PR
+# must keep green; the individual targets exist for quick local runs.
+
+GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
+
+.PHONY: ci fmt vet build test race bench
+
+ci:
+	./scripts/ci.sh
+
+fmt:
+	@out=$$(gofmt -l $(GOFILES)); \
+	if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem -run=^$$ ./...

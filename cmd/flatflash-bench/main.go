@@ -14,13 +14,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"flatflash/internal/experiments"
+	"flatflash/internal/sim"
+	"flatflash/internal/telemetry"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run with reduced sizes (faster, noisier)")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON file covering all runs")
+	metricsOut := flag.String("metrics-out", "", "write epoch-sampled metrics as JSON Lines")
+	metricsEp := flag.Duration("metrics-epoch", time.Millisecond, "virtual-time metrics sampling epoch")
 	flag.Parse()
 
 	if *list {
@@ -29,6 +35,24 @@ func main() {
 		}
 		return
 	}
+
+	// Telemetry is attached to every hierarchy the experiments build. The
+	// hierarchies run on independent virtual clocks, so the shared trace
+	// overlays their timelines; gauge names are deduplicated per instance.
+	var (
+		tracer *telemetry.Tracer
+		probe  telemetry.Probe
+		reg    *telemetry.Registry
+	)
+	if *traceOut != "" {
+		tracer = telemetry.NewTracer(telemetry.DefaultTracerCapacity)
+		probe = tracer
+	}
+	if *traceOut != "" || *metricsOut != "" {
+		reg = telemetry.NewRegistry(sim.Duration(metricsEp.Nanoseconds()))
+	}
+	experiments.SetTelemetry(probe, reg)
+
 	scale := experiments.Full
 	if *quick {
 		scale = experiments.Quick
@@ -39,12 +63,35 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		return
-	}
-	for _, id := range ids {
-		if err := experiments.Run(os.Stdout, id, scale); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	} else {
+		for _, id := range ids {
+			if err := experiments.Run(os.Stdout, id, scale); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
+	}
+
+	reg.Finish(reg.LastObserved())
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		check(err)
+		check(telemetry.WriteChromeTrace(f, tracer, reg))
+		check(f.Close())
+		fmt.Printf("trace: %d spans -> %s (load in ui.perfetto.dev)\n", tracer.Recorded(), *traceOut)
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		check(err)
+		check(reg.WriteJSONL(f))
+		check(f.Close())
+		fmt.Printf("metrics: %d epochs -> %s\n", len(reg.Rows()), *metricsOut)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flatflash-bench:", err)
+		os.Exit(1)
 	}
 }

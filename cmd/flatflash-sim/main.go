@@ -14,8 +14,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"flatflash/internal/core"
+	"flatflash/internal/sim"
+	"flatflash/internal/telemetry"
 	"flatflash/internal/trace"
 )
 
@@ -32,6 +35,10 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "workload seed")
 		record    = flag.String("record", "", "write the generated trace to this file")
 		replay    = flag.String("replay", "", "replay a trace file instead of generating")
+
+		traceOut   = flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON file")
+		metricsOut = flag.String("metrics-out", "", "write epoch-sampled metrics as JSON Lines")
+		metricsEp  = flag.Duration("metrics-epoch", time.Millisecond, "virtual-time metrics sampling epoch")
 	)
 	flag.Parse()
 
@@ -55,6 +62,19 @@ func main() {
 		check(fmt.Errorf("unknown kind %q", *kind))
 	}
 	check(err)
+
+	// Telemetry: the registry always runs (it feeds the ops/virtual-second
+	// summary); the span tracer only when a trace file was requested. The
+	// probe stays a nil interface otherwise, keeping the access path
+	// allocation-free.
+	reg := telemetry.NewRegistry(sim.Duration(metricsEp.Nanoseconds()))
+	var tracer *telemetry.Tracer
+	var probe telemetry.Probe
+	if *traceOut != "" {
+		tracer = telemetry.NewTracer(telemetry.DefaultTracerCapacity)
+		probe = tracer
+	}
+	h.Instrument(probe, reg)
 
 	var t trace.Trace
 	if *replay != "" {
@@ -87,15 +107,41 @@ func main() {
 	check(err)
 	res, err := trace.Replay(h, region, t)
 	check(err)
+	reg.Finish(h.Now())
 
 	fmt.Printf("system=%s ops=%d elapsed=%v\n", h.Name(), res.Ops, res.Elapsed)
 	fmt.Printf("latency: mean=%v p50=%v p90=%v p99=%v p99.9=%v max=%v\n",
 		res.Hist.Mean(), res.Hist.Percentile(50), res.Hist.Percentile(90),
 		res.Hist.Percentile(99), res.Hist.Percentile(99.9), res.Hist.Max())
+	vsec := reg.Elapsed().Seconds()
+	opsPerVS := 0.0
+	if vsec > 0 {
+		opsPerVS = float64(reg.Get("accesses")) / vsec
+	}
+	fmt.Printf("virtual: duration=%v ops/vsec=%.0f epochs=%d\n",
+		reg.Elapsed(), opsPerVS, len(reg.Rows()))
 	c := h.Counters()
 	fmt.Println("counters:")
-	for _, name := range c.Names() {
-		fmt.Printf("  %-26s %d\n", name, c.Get(name))
+	for _, kv := range c.Snapshot() {
+		fmt.Printf("  %-26s %d\n", kv.Name, kv.Value)
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		check(err)
+		check(telemetry.WriteChromeTrace(f, tracer, reg))
+		check(f.Close())
+		fmt.Printf("trace: %d spans -> %s (load in ui.perfetto.dev)\n", tracer.Recorded(), *traceOut)
+		if d := tracer.Dropped(); d > 0 {
+			fmt.Printf("trace: ring overflowed, oldest %d spans dropped\n", d)
+		}
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		check(err)
+		check(reg.WriteJSONL(f))
+		check(f.Close())
+		fmt.Printf("metrics: %d epochs -> %s\n", len(reg.Rows()), *metricsOut)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"flatflash/internal/pcie"
 	"flatflash/internal/sim"
 	"flatflash/internal/stats"
+	"flatflash/internal/telemetry"
 	"flatflash/internal/vm"
 )
 
@@ -39,7 +40,9 @@ type pagingHierarchy struct {
 	scratch  []byte
 	crashed  bool
 
-	c *stats.Counters
+	c     *stats.Counters
+	probe telemetry.Probe
+	reg   *telemetry.Registry
 }
 
 // NewUnifiedMMap builds the FlashMap-style baseline.
@@ -96,6 +99,29 @@ func newPaging(cfg Config, name string, metaOverhead float64, faultCost, syncCos
 
 // Name implements Hierarchy.
 func (p *pagingHierarchy) Name() string { return p.name }
+
+// Instrument implements Hierarchy: threads the probe into the PCIe link and
+// FTL and registers the baseline's gauges with reg. Both arguments may be
+// nil.
+func (p *pagingHierarchy) Instrument(probe telemetry.Probe, reg *telemetry.Registry) {
+	p.probe = probe
+	p.reg = reg
+	if probe != nil {
+		p.link.SetProbe(probe)
+		p.ftl.SetProbe(probe)
+	}
+	reg.Start(p.clock.Now())
+	reg.RegisterGauge("dram_occupancy", func() float64 {
+		total := p.dram.Config().Frames
+		if total == 0 {
+			return 0
+		}
+		return 1 - float64(p.dram.FreeFrames())/float64(total)
+	})
+	reg.RegisterGauge("write_amplification", p.ftl.WriteAmplification)
+	reg.RegisterRate("faults", func() int64 { return p.c.Get("faults") })
+	reg.RegisterRate("accesses", func() int64 { return p.reg.Get("accesses") })
+}
 
 // Now implements Hierarchy.
 func (p *pagingHierarchy) Now() sim.Time { return p.clock.Now() }
@@ -157,6 +183,11 @@ func (p *pagingHierarchy) access(addr uint64, buf []byte, isWrite bool) (sim.Dur
 	if err != nil {
 		return 0, err
 	}
+	if p.probe != nil {
+		p.probe.Span(telemetry.SpanAccess, telemetry.TrackCPU, start, p.clock.Now(), int64(len(buf)))
+	}
+	p.reg.Add("accesses", 1)
+	p.reg.Tick(p.clock.Now())
 	return p.clock.Now().Sub(start), nil
 }
 
@@ -166,11 +197,15 @@ func (p *pagingHierarchy) accessChunk(vpn uint64, off int, b []byte, isWrite boo
 	if err != nil {
 		return ErrOutOfRange
 	}
+	if tLat > 0 && p.probe != nil {
+		p.probe.Span(telemetry.SpanTranslate, telemetry.TrackCPU, now, now.Add(tLat), int64(vpn))
+	}
 	now = now.Add(tLat)
 
 	if pte.Loc == vm.InSSD {
 		// Page fault: migrate the whole page SSD -> DRAM (Figure 1a). The
 		// application stalls for the entire handler.
+		faultStart := now
 		now = now.Add(p.faultCost)
 		frame, fNow, ok := p.allocFrame(now)
 		if !ok {
@@ -189,6 +224,10 @@ func (p *pagingHierarchy) accessChunk(vpn uint64, off int, b []byte, isWrite boo
 		now = done.Add(upd)
 		p.c.Add("faults", 1)
 		p.c.Add("page_movements", 1)
+		p.reg.Add("faults", 1)
+		if p.probe != nil {
+			p.probe.Span(telemetry.SpanPageFault, telemetry.TrackCPU, faultStart, now, int64(pte.SSDPage))
+		}
 		pte = p.as.PTEOf(vpn)
 	}
 
@@ -204,6 +243,9 @@ func (p *pagingHierarchy) accessChunk(vpn uint64, off int, b []byte, isWrite boo
 	} else {
 		copy(b, data[off:off+len(b)])
 		p.c.Add("dram_reads", 1)
+	}
+	if p.probe != nil {
+		p.probe.Span(telemetry.SpanDRAM, telemetry.TrackCPU, now, now.Add(lat), int64(pte.Frame))
 	}
 	p.clock.AdvanceTo(now.Add(lat))
 	return nil
@@ -304,6 +346,9 @@ func (p *pagingHierarchy) SyncPages(addr uint64, n int) (sim.Duration, error) {
 		now = last
 	}
 	p.c.Add("sync_calls", 1)
+	if p.probe != nil {
+		p.probe.Span(telemetry.SpanSync, telemetry.TrackCPU, start, now, int64(n))
+	}
 	p.clock.AdvanceTo(now)
 	return p.clock.Now().Sub(start), nil
 }
@@ -311,7 +356,8 @@ func (p *pagingHierarchy) SyncPages(addr uint64, n int) (sim.Duration, error) {
 // Drain implements Hierarchy: all dirty DRAM pages are written to flash.
 func (p *pagingHierarchy) Drain() {
 	now := p.clock.Now()
-	for frame, vpn := range p.vpnOfFrm {
+	for _, frame := range sortedFrames(p.vpnOfFrm) {
+		vpn := p.vpnOfFrm[frame]
 		pte := p.as.PTEOf(vpn)
 		if !pte.Dirty {
 			continue
@@ -331,7 +377,8 @@ func (p *pagingHierarchy) Crash() {
 	if p.crashed {
 		return
 	}
-	for frame, vpn := range p.vpnOfFrm {
+	for _, frame := range sortedFrames(p.vpnOfFrm) {
+		vpn := p.vpnOfFrm[frame]
 		pte := p.as.PTEOf(vpn)
 		p.as.UpdateMapping(vpn, vm.PTE{Loc: vm.InSSD, SSDPage: pte.SSDPage})
 		p.dram.Release(frame)

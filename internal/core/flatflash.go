@@ -11,6 +11,7 @@ import (
 	"flatflash/internal/sim"
 	"flatflash/internal/ssdcache"
 	"flatflash/internal/stats"
+	"flatflash/internal/telemetry"
 	"flatflash/internal/vm"
 )
 
@@ -36,6 +37,9 @@ type FlatFlash struct {
 	hostCache *hostLineCache    // nil unless cfg.HostCacheLines > 0 (§3.1)
 	scratch   []byte
 	crashed   bool
+
+	probe telemetry.Probe     // nil when telemetry is disabled
+	reg   *telemetry.Registry // nil when metrics are disabled
 
 	c *stats.Counters
 }
@@ -126,6 +130,34 @@ func (s *FlatFlash) Config() Config { return s.cfg }
 // Now implements Hierarchy.
 func (s *FlatFlash) Now() sim.Time { return s.clock.Now() }
 
+// Instrument implements Hierarchy: the probe is threaded through every
+// substrate (PCIe link, PLB, SSD-Cache, promotion policy, FTL) and the
+// registry gains the FlatFlash gauge set sampled on virtual-time epochs.
+func (s *FlatFlash) Instrument(probe telemetry.Probe, reg *telemetry.Registry) {
+	s.probe = probe
+	s.reg = reg
+	s.link.SetProbe(probe)
+	s.plb.SetProbe(probe)
+	s.cach.SetProbe(probe, s.clock.Now)
+	s.ftl.SetProbe(probe)
+	if s.pol != nil {
+		s.pol.SetProbe(probe, s.clock.Now)
+	}
+	reg.Start(s.clock.Now())
+	reg.RegisterGauge("ssdcache_hit_ratio", s.cach.HitRatio)
+	reg.RegisterGauge("plb_hit_ratio", s.plb.HitRatio)
+	reg.RegisterGauge("dram_occupancy", func() float64 {
+		frames := s.dram.Config().Frames
+		if frames == 0 {
+			return 0
+		}
+		return 1 - float64(s.dram.FreeFrames())/float64(frames)
+	})
+	reg.RegisterGauge("write_amplification", s.ftl.WriteAmplification)
+	reg.RegisterRate("promotions", func() int64 { return s.c.Get("promotions") })
+	reg.RegisterRate("accesses", func() int64 { return s.reg.Get("accesses") })
+}
+
 // Advance implements Hierarchy.
 func (s *FlatFlash) Advance(d sim.Duration) {
 	s.clock.Advance(d)
@@ -185,6 +217,11 @@ func (s *FlatFlash) access(addr uint64, buf []byte, isWrite bool) (sim.Duration,
 	if err != nil {
 		return 0, err
 	}
+	if s.probe != nil {
+		s.probe.Span(telemetry.SpanAccess, telemetry.TrackCPU, start, s.clock.Now(), int64(len(buf)))
+	}
+	s.reg.Add("accesses", 1)
+	s.reg.Tick(s.clock.Now())
 	return s.clock.Now().Sub(start), nil
 }
 
@@ -197,6 +234,9 @@ func (s *FlatFlash) accessChunk(vpn uint64, off int, b []byte, isWrite bool) err
 	pte, tLat, err := s.as.Translate(vpn)
 	if err != nil {
 		return ErrOutOfRange
+	}
+	if tLat > 0 && s.probe != nil {
+		s.probe.Span(telemetry.SpanTranslate, telemetry.TrackCPU, now, now.Add(tLat), int64(vpn))
 	}
 	now = now.Add(tLat)
 
@@ -214,6 +254,9 @@ func (s *FlatFlash) accessChunk(vpn uint64, off int, b []byte, isWrite bool) err
 			copy(b, data[off:off+len(b)])
 			s.c.Add("dram_reads", 1)
 		}
+		if s.probe != nil {
+			s.probe.Span(telemetry.SpanDRAM, telemetry.TrackCPU, now, now.Add(lat), int64(pte.Frame))
+		}
 		s.clock.AdvanceTo(now.Add(lat))
 		return nil
 	}
@@ -224,6 +267,9 @@ func (s *FlatFlash) accessChunk(vpn uint64, off int, b []byte, isWrite bool) err
 	switch s.plb.Access(now, lpn, off, b, isWrite) {
 	case plb.RouteDRAM:
 		s.c.Add("plb_redirects", 1)
+		if s.probe != nil {
+			s.probe.Span(telemetry.SpanPLBRedirect, telemetry.TrackCPU, now, now.Add(s.cfg.DRAMLat), int64(lpn))
+		}
 		s.clock.AdvanceTo(now.Add(s.cfg.DRAMLat))
 		return nil
 	case plb.RouteSSD:
@@ -262,6 +308,9 @@ func (s *FlatFlash) accessChunk(vpn uint64, off int, b []byte, isWrite bool) err
 		if data, ok := s.hostCache.lookup(lpn, line); ok {
 			copy(b, data[off-lineStart:off-lineStart+len(b)])
 			s.c.Add("hostcache_hits", 1)
+			if s.probe != nil {
+				s.probe.Span(telemetry.SpanHostCacheHit, telemetry.TrackCPU, now, now.Add(s.cfg.HostCacheLatency), int64(lpn))
+			}
 			s.clock.AdvanceTo(now.Add(s.cfg.HostCacheLatency))
 			return nil
 		}
@@ -295,11 +344,19 @@ func (s *FlatFlash) countHit(hit bool) {
 // critical path). It returns the entry and the time the data is available.
 func (s *FlatFlash) ensureCached(now sim.Time, lpn uint32) (*ssdcache.Entry, sim.Time, bool) {
 	if e, ok := s.cach.Lookup(lpn); ok {
+		if s.probe != nil {
+			s.probe.Span(telemetry.SpanCacheProbe, telemetry.TrackSSD, now, now.Add(ssdcache.AccessCost), int64(lpn))
+		}
 		return e, now.Add(ssdcache.AccessCost), true
 	}
 	done, err := s.ftl.ReadPage(now, lpn, s.scratch)
 	if err != nil {
 		return nil, now, false
+	}
+	if s.probe != nil {
+		// Miss fill: the probe shows the whole fill on the SSD track; the
+		// nested flash_read span comes from the FTL.
+		s.probe.Span(telemetry.SpanCacheProbe, telemetry.TrackSSD, now, done, int64(lpn))
 	}
 	e, victim, evicted := s.cach.Insert(lpn, s.scratch, false)
 	if evicted {
@@ -333,6 +390,9 @@ func (s *FlatFlash) maybePromote(now sim.Time, vpn uint64, lpn uint32, pte *vm.P
 	}
 	if s.plb.InFlight(lpn) {
 		return
+	}
+	if s.probe != nil {
+		s.probe.Event(telemetry.EvPromoteTrigger, telemetry.TrackSSD, now, int64(lpn))
 	}
 	if !s.cfg.UsePLB {
 		// Ablation: no PLB means the CPU stalls for the whole promotion.
@@ -394,6 +454,9 @@ func (s *FlatFlash) promoteStalling(now sim.Time, vpn uint64, lpn uint32) {
 	s.vpnOfFrm[frame] = vpn
 	s.c.Add("promotions", 1)
 	s.c.Add("page_movements", 1)
+	if s.probe != nil {
+		s.probe.Span(telemetry.SpanPromotionStall, telemetry.TrackCPU, now, now.Add(s.cfg.PLB.PromotionLatency).Add(upd), int64(lpn))
+	}
 	// CPU waits for copy + mapping update.
 	s.clock.AdvanceTo(now.Add(s.cfg.PLB.PromotionLatency).Add(upd))
 }

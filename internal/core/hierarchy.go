@@ -2,9 +2,11 @@ package core
 
 import (
 	"errors"
+	"sort"
 
 	"flatflash/internal/sim"
 	"flatflash/internal/stats"
+	"flatflash/internal/telemetry"
 )
 
 // Errors shared by the hierarchy implementations.
@@ -97,6 +99,27 @@ type Hierarchy interface {
 	// Counters returns a snapshot of event counters, including substrate
 	// statistics (cache hits, page movements, flash wear, I/O traffic).
 	Counters() *stats.Counters
+
+	// Instrument attaches telemetry: probe receives per-access spans and
+	// events from every layer (translation, PCIe, SSD-Cache, FTL, DRAM,
+	// promotion), and reg gains this hierarchy's gauges (hit ratios, DRAM
+	// occupancy, write amplification, promotion rate) sampled on virtual-
+	// time epochs. Either argument may be nil; with both nil the access
+	// path stays allocation-free. Call before driving accesses.
+	Instrument(probe telemetry.Probe, reg *telemetry.Registry)
+}
+
+// sortedFrames returns m's keys in ascending order. Drain and Crash walk
+// the frame map through it so that map-iteration order never leaks into
+// device state (flash allocation, wear) or telemetry output — two runs with
+// the same seed must produce byte-identical dumps.
+func sortedFrames(m map[int]uint64) []int {
+	frames := make([]int, 0, len(m))
+	for f := range m {
+		frames = append(frames, f)
+	}
+	sort.Ints(frames)
+	return frames
 }
 
 // chunker splits a byte-granular access into (vpn, pageOff, sub-slice)

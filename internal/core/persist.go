@@ -2,6 +2,7 @@ package core
 
 import (
 	"flatflash/internal/sim"
+	"flatflash/internal/telemetry"
 	"flatflash/internal/vm"
 )
 
@@ -41,6 +42,9 @@ func (s *FlatFlash) Persist(addr uint64, size int) (sim.Duration, error) {
 	now = s.link.MMIORead(now, true)
 	s.c.Add("persist_barriers", 1)
 	s.c.Add("persist_lines", int64(lines))
+	if s.probe != nil {
+		s.probe.Span(telemetry.SpanPersist, telemetry.TrackCPU, start, now, int64(lines))
+	}
 	s.clock.AdvanceTo(now)
 	return s.clock.Now().Sub(start), nil
 }
@@ -73,6 +77,9 @@ func (s *FlatFlash) SyncPages(addr uint64, n int) (sim.Duration, error) {
 	// One ordering read at the end.
 	now = s.link.MMIORead(now, true)
 	s.c.Add("sync_calls", 1)
+	if s.probe != nil {
+		s.probe.Span(telemetry.SpanSync, telemetry.TrackCPU, start, now, int64(n))
+	}
 	s.clock.AdvanceTo(now)
 	return s.clock.Now().Sub(start), nil
 }
@@ -92,7 +99,8 @@ func (s *FlatFlash) Drain() {
 		s.vpnOfFrm[c.Frame] = vpn
 	}
 	now := s.clock.Now()
-	for frame, vpn := range s.vpnOfFrm {
+	for _, frame := range sortedFrames(s.vpnOfFrm) {
+		vpn := s.vpnOfFrm[frame]
 		pte := s.as.PTEOf(vpn)
 		if pte.Dirty {
 			data, _ := s.dram.Data(frame)
@@ -123,7 +131,8 @@ func (s *FlatFlash) Crash() {
 	}
 	// Every DRAM-resident page reverts to its SSD backing (whatever last
 	// reached the persistence domain).
-	for frame, vpn := range s.vpnOfFrm {
+	for _, frame := range sortedFrames(s.vpnOfFrm) {
+		vpn := s.vpnOfFrm[frame]
 		pte := s.as.PTEOf(vpn)
 		s.as.UpdateMapping(vpn, vm.PTE{Loc: vm.InSSD, SSDPage: pte.SSDPage, Persist: pte.Persist})
 		s.dram.Release(frame)

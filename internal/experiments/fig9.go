@@ -38,6 +38,7 @@ func Fig9a(scale Scale) *Report {
 		r.AddRow(name, res.Elapsed.String(), fmt.Sprintf("%.6f", res.GUPS),
 			fmt.Sprintf("%d", res.PageMovements),
 			ratio(float64(res.Elapsed), float64(ffElapsed)))
+		dumpCounters(r, h, "page_movements", "pcie_traffic_bytes", "flash_programs", "tlb_misses")
 	}
 	r.AddNote("paper: FlatFlash 1.5-1.6x over UnifiedMMap, 2.5-2.7x over TraditionalStack")
 	return r

@@ -13,11 +13,19 @@ import (
 
 // Report is one experiment's output table.
 type Report struct {
-	ID     string // e.g. "fig9a"
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	ID      string // e.g. "fig9a"
+	Title   string
+	Header  []string
+	Rows    [][]string
+	Notes   []string
+	Metrics []Metric
+}
+
+// Metric is one named counter or gauge value attached to a report — the
+// per-experiment metric dump printed after the table.
+type Metric struct {
+	Name  string
+	Value string
 }
 
 // AddRow appends a formatted row.
@@ -28,6 +36,11 @@ func (r *Report) AddRow(cells ...string) {
 // AddNote appends a footnote line.
 func (r *Report) AddNote(format string, args ...any) {
 	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// AddMetric appends one metric footnote.
+func (r *Report) AddMetric(name, value string) {
+	r.Metrics = append(r.Metrics, Metric{Name: name, Value: value})
 }
 
 // Print renders the report as an aligned text table.
@@ -66,6 +79,9 @@ func (r *Report) Print(w io.Writer) {
 	}
 	for _, n := range r.Notes {
 		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	for _, m := range r.Metrics {
+		fmt.Fprintf(w, "  metric: %s=%s\n", m.Name, m.Value)
 	}
 	fmt.Fprintln(w)
 }

@@ -2,25 +2,69 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 
 	"flatflash/internal/core"
 	"flatflash/internal/sim"
+	"flatflash/internal/telemetry"
 )
 
 // sysName labels for the three hierarchies, in the paper's order.
 var sysNames = []string{"FlatFlash", "UnifiedMMap", "TraditionalStack"}
 
+// Package-level telemetry sinks, installed with SetTelemetry. Nil (the
+// default) keeps every access path allocation-free.
+var (
+	telProbe telemetry.Probe
+	telReg   *telemetry.Registry
+)
+
+// SetTelemetry attaches a span probe and metrics registry to every
+// hierarchy built by subsequent experiment runs (flatflash-bench's
+// -trace-out/-metrics-out flags). Either may be nil. Hierarchies share the
+// sinks; the registry disambiguates duplicate gauge names deterministically.
+func SetTelemetry(p telemetry.Probe, r *telemetry.Registry) {
+	telProbe, telReg = p, r
+}
+
 // build constructs one hierarchy by name from cfg.
 func build(name string, cfg core.Config) (core.Hierarchy, error) {
+	var (
+		h   core.Hierarchy
+		err error
+	)
 	switch name {
 	case "FlatFlash":
-		return core.NewFlatFlash(cfg)
+		h, err = core.NewFlatFlash(cfg)
 	case "UnifiedMMap":
-		return core.NewUnifiedMMap(cfg)
+		h, err = core.NewUnifiedMMap(cfg)
 	case "TraditionalStack":
-		return core.NewTraditionalStack(cfg)
+		h, err = core.NewTraditionalStack(cfg)
 	default:
 		return nil, fmt.Errorf("experiments: unknown system %q", name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if telProbe != nil || telReg != nil {
+		h.Instrument(telProbe, telReg)
+	}
+	return h, nil
+}
+
+// dumpCounters appends selected counters from h (all of them, sorted, when
+// names is empty) to the report's metric footnotes, prefixed by the system
+// name. Snapshot order is deterministic.
+func dumpCounters(r *Report, h core.Hierarchy, names ...string) {
+	c := h.Counters()
+	if len(names) == 0 {
+		for _, kv := range c.Snapshot() {
+			r.AddMetric(h.Name()+"."+kv.Name, strconv.FormatInt(kv.Value, 10))
+		}
+		return
+	}
+	for _, n := range names {
+		r.AddMetric(h.Name()+"."+n, strconv.FormatInt(c.Get(n), 10))
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 
 	"flatflash/internal/flash"
 	"flatflash/internal/sim"
+	"flatflash/internal/telemetry"
 )
 
 // Errors returned by the FTL.
@@ -103,6 +104,7 @@ type FTL struct {
 
 	dirtySrc DirtySource
 	inGC     bool
+	probe    telemetry.Probe // nil when telemetry is disabled
 
 	hostWrites  int64 // page writes requested by the host layers
 	flashWrites int64 // page programs issued to the device
@@ -159,6 +161,10 @@ func (f *FTL) Device() *flash.Device { return f.dev }
 // SetDirtySource registers the SSD-Cache hook used by read-modify-write GC.
 func (f *FTL) SetDirtySource(src DirtySource) { f.dirtySrc = src }
 
+// SetProbe attaches a telemetry probe emitting flash-service and GC spans
+// on the flash track. A nil probe disables emission.
+func (f *FTL) SetProbe(p telemetry.Probe) { f.probe = p }
+
 // IsMapped reports whether logical page lpn has ever been written.
 func (f *FTL) IsMapped(lpn uint32) bool {
 	return int(lpn) < len(f.l2p) && f.l2p[lpn] != flash.InvalidPage
@@ -187,9 +193,16 @@ func (f *FTL) ReadPage(now sim.Time, lpn uint32, buf []byte) (sim.Time, error) {
 		for i := range buf {
 			buf[i] = 0
 		}
+		if f.probe != nil {
+			f.probe.Span(telemetry.SpanFlashRead, telemetry.TrackFlash, now, done, int64(lpn))
+		}
 		return done, nil
 	}
-	return f.dev.Read(now, p, buf)
+	done, err := f.dev.Read(now, p, buf)
+	if err == nil && f.probe != nil {
+		f.probe.Span(telemetry.SpanFlashRead, telemetry.TrackFlash, now, done, int64(lpn))
+	}
+	return done, err
 }
 
 // WritePage writes a full logical page and returns the completion time.
@@ -223,6 +236,9 @@ func (f *FTL) WritePage(now sim.Time, lpn uint32, data []byte) (sim.Time, error)
 	f.l2p[lpn] = p
 	f.p2l[p] = int32(lpn)
 	f.validCount[f.dev.BlockOf(p)]++
+	if f.probe != nil {
+		f.probe.Span(telemetry.SpanFlashWrite, telemetry.TrackFlash, now, done, int64(lpn))
+	}
 	return done, nil
 }
 
@@ -330,6 +346,7 @@ func (f *FTL) pickVictim() int {
 func (f *FTL) collect(now sim.Time, victim int) (sim.Time, error) {
 	f.inGC = true
 	defer func() { f.inGC = false }()
+	gcStart := now
 
 	ppb := f.cfg.Flash.PagesPerBlock
 	first := flash.PageAddr(victim * ppb)
@@ -377,6 +394,9 @@ func (f *FTL) collect(now sim.Time, victim int) (sim.Time, error) {
 		// Lazy propagation of the new mappings to PTEs/TLBs happens in one
 		// batch per GC pass, via a single interrupt (§4).
 		f.remap.BatchInterrupts++
+	}
+	if f.probe != nil {
+		f.probe.Span(telemetry.SpanGC, telemetry.TrackFlash, gcStart, done, int64(victim))
 	}
 	return done, nil
 }

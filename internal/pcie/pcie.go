@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"flatflash/internal/sim"
+	"flatflash/internal/telemetry"
 )
 
 // Config holds link timing.
@@ -54,8 +55,9 @@ func (c Config) Validate() error {
 
 // Link is one PCIe link.
 type Link struct {
-	cfg Config
-	res *sim.Resource
+	cfg   Config
+	res   *sim.Resource
+	probe telemetry.Probe // nil when telemetry is disabled
 
 	mmioReads, mmioWrites, dmaPages, persistTagged int64
 }
@@ -71,6 +73,11 @@ func NewLink(cfg Config) (*Link, error) {
 // Config returns the link configuration.
 func (l *Link) Config() Config { return l.cfg }
 
+// SetProbe attaches a telemetry probe emitting one span per link
+// transaction (issue time to completion, on the PCIe track). A nil probe
+// disables emission.
+func (l *Link) SetProbe(p telemetry.Probe) { l.probe = p }
+
 // MMIORead performs a non-posted cache-line read issued at now; the
 // returned time is when the completion arrives back at the host.
 // persist indicates the packet carried the P attribute bit.
@@ -80,7 +87,11 @@ func (l *Link) MMIORead(now sim.Time, persist bool) sim.Time {
 	if persist {
 		l.persistTagged++
 	}
-	return start.Add(l.cfg.MMIOReadLatency)
+	done := start.Add(l.cfg.MMIOReadLatency)
+	if l.probe != nil {
+		l.probe.Span(telemetry.SpanMMIORead, telemetry.TrackPCIe, now, done, persistArg(persist))
+	}
+	return done
 }
 
 // MMIOWrite performs a posted cache-line write issued at now; the returned
@@ -93,7 +104,11 @@ func (l *Link) MMIOWrite(now sim.Time, persist bool) sim.Time {
 	if persist {
 		l.persistTagged++
 	}
-	return start.Add(l.cfg.MMIOWriteLatency)
+	done := start.Add(l.cfg.MMIOWriteLatency)
+	if l.probe != nil {
+		l.probe.Span(telemetry.SpanMMIOWrite, telemetry.TrackPCIe, now, done, persistArg(persist))
+	}
+	return done
 }
 
 // DMAPage transfers one page across the link (page migration in the
@@ -101,7 +116,19 @@ func (l *Link) MMIOWrite(now sim.Time, persist bool) sim.Time {
 func (l *Link) DMAPage(now sim.Time) sim.Time {
 	start, _ := l.res.Acquire(now, l.cfg.PageOccupancy)
 	l.dmaPages++
-	return start.Add(l.cfg.DMAPageLatency)
+	done := start.Add(l.cfg.DMAPageLatency)
+	if l.probe != nil {
+		l.probe.Span(telemetry.SpanDMAPage, telemetry.TrackPCIe, now, done, 0)
+	}
+	return done
+}
+
+// persistArg encodes the Persist attribute bit for span args.
+func persistArg(persist bool) int64 {
+	if persist {
+		return 1
+	}
+	return 0
 }
 
 // Stats returns MMIO reads, MMIO writes, DMA page transfers, and packets

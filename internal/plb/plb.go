@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"flatflash/internal/sim"
+	"flatflash/internal/telemetry"
 )
 
 // Errors.
@@ -96,8 +97,10 @@ type PLB struct {
 	cfg     Config
 	entries []entry
 	nLines  int
+	probe   telemetry.Probe // nil when telemetry is disabled
 
 	started, completed, droppedInbound, redirectedStores int64
+	lookups, routed                                      int64
 }
 
 // New builds an empty PLB.
@@ -114,6 +117,10 @@ func New(cfg Config) (*PLB, error) {
 
 // Config returns the PLB configuration.
 func (p *PLB) Config() Config { return p.cfg }
+
+// SetProbe attaches a telemetry probe: one span per promotion flight on the
+// promotion track, plus completion events. A nil probe disables emission.
+func (p *PLB) SetProbe(pr telemetry.Probe) { p.probe = pr }
 
 // Free reports how many entries are available.
 func (p *PLB) Free() int {
@@ -176,6 +183,9 @@ func (p *PLB) Start(now sim.Time, lpn uint32, frame int, src, dst []byte, srcDir
 		dirty:    srcDirty,
 	}
 	p.started++
+	if p.probe != nil {
+		p.probe.Span(telemetry.SpanPromotion, telemetry.TrackPromo, now, slot.deadline, int64(lpn))
+	}
 	return nil
 }
 
@@ -222,10 +232,12 @@ const (
 // to charge (DRAM vs SSD/MMIO). Accesses that span cache lines are split by
 // the caller; here off+len must stay within one line.
 func (p *PLB) Access(now sim.Time, lpn uint32, off int, buf []byte, isStore bool) Route {
+	p.lookups++
 	e := p.find(lpn)
 	if e == nil {
 		return RouteNone
 	}
+	p.routed++
 	if off < 0 || off+len(buf) > p.cfg.PageSize {
 		panic("plb: access outside page")
 	}
@@ -271,6 +283,9 @@ func (p *PLB) Expired(now sim.Time) []Completion {
 		}
 		p.progress(e, e.deadline.Add(p.cfg.PromotionLatency)) // force all lines
 		out = append(out, Completion{LPN: e.lpn, Frame: e.frame, Deadline: e.deadline, Dirty: e.dirty})
+		if p.probe != nil {
+			p.probe.Event(telemetry.EvPromoteComplete, telemetry.TrackPromo, e.deadline, int64(e.lpn))
+		}
 		*e = entry{}
 		p.completed++
 	}
@@ -288,6 +303,9 @@ func (p *PLB) Flush(now sim.Time) []Completion {
 		}
 		p.progress(e, e.deadline.Add(p.cfg.PromotionLatency))
 		out = append(out, Completion{LPN: e.lpn, Frame: e.frame, Deadline: e.deadline.Max(now), Dirty: e.dirty})
+		if p.probe != nil {
+			p.probe.Event(telemetry.EvPromoteComplete, telemetry.TrackPromo, e.deadline.Max(now), int64(e.lpn))
+		}
 		*e = entry{}
 		p.completed++
 	}
@@ -298,4 +316,14 @@ func (p *PLB) Flush(now sim.Time) []Completion {
 // favor of CPU stores, and stores redirected to DRAM during flight.
 func (p *PLB) Stats() (started, completed, droppedInbound, redirectedStores int64) {
 	return p.started, p.completed, p.droppedInbound, p.redirectedStores
+}
+
+// HitRatio returns the fraction of PLB lookups that found an in-flight
+// promotion and were served through it (Figure 4's redirect paths), or 0
+// before any lookup.
+func (p *PLB) HitRatio() float64 {
+	if p.lookups == 0 {
+		return 0
+	}
+	return float64(p.routed) / float64(p.lookups)
 }

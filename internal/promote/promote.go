@@ -6,6 +6,11 @@
 // while low-reuse (random) workloads stay in byte-granular MMIO mode.
 package promote
 
+import (
+	"flatflash/internal/sim"
+	"flatflash/internal/telemetry"
+)
+
 // Params are Algorithm 1's tunables, listed with the paper's initial values.
 type Params struct {
 	LwRatio      float64 // 0.25: below this reuse ratio, promote less
@@ -25,6 +30,9 @@ func DefaultParams() Params {
 type Policy struct {
 	params Params
 
+	probe telemetry.Probe // nil when telemetry is disabled
+	now   func() sim.Time
+
 	// Algorithm 1 state, same names as the paper:
 	netAggCnt       int64 // sum of pageCnt over pages currently cached
 	accessCnt       int64 // accesses to the SSD-Cache this epoch
@@ -43,6 +51,13 @@ func New(p Params) *Policy {
 		panic("promote: ResetEpoch must be >= 1")
 	}
 	return &Policy{params: p, currThreshold: p.MaxThreshold}
+}
+
+// SetProbe attaches a telemetry probe emitting threshold-change and
+// epoch-reset events on the SSD track; now supplies timestamps (the policy
+// has no clock). A nil probe disables emission.
+func (p *Policy) SetProbe(pr telemetry.Probe, now func() sim.Time) {
+	p.probe, p.now = pr, now
 }
 
 // Threshold returns the current promotion threshold (for tests and stats).
@@ -66,6 +81,7 @@ func (p *Policy) Update(pageCnt int) (promote bool) {
 		p.aggPromotedCnt += int64(pageCnt)
 		p.promotionsTotal++
 	}
+	before := p.currThreshold
 	currRatio := float64(p.aggPromotedCnt) / float64(p.accessCnt)
 	if currRatio <= p.params.LwRatio {
 		if p.currThreshold < p.params.MaxThreshold {
@@ -83,6 +99,12 @@ func (p *Policy) Update(pageCnt int) (promote bool) {
 		p.aggPromotedCnt = 0
 		p.currThreshold = p.params.MaxThreshold
 		p.epochs++
+		if p.probe != nil {
+			p.probe.Event(telemetry.EvEpochReset, telemetry.TrackSSD, p.now(), p.epochs)
+		}
+	}
+	if p.probe != nil && p.currThreshold != before {
+		p.probe.Event(telemetry.EvThreshold, telemetry.TrackSSD, p.now(), int64(p.currThreshold))
 	}
 	return promoteFlag
 }
@@ -126,6 +148,9 @@ func (f *FixedPolicy) Update(pageCnt int) bool {
 // AdjustCnt is a no-op for the fixed policy.
 func (f *FixedPolicy) AdjustCnt(pageCnt int) {}
 
+// SetProbe is a no-op: the fixed policy has no adaptation to report.
+func (f *FixedPolicy) SetProbe(pr telemetry.Probe, now func() sim.Time) {}
+
 // Threshold returns the fixed threshold.
 func (f *FixedPolicy) Threshold() int { return f.threshold }
 
@@ -139,6 +164,8 @@ type Promoter interface {
 	AdjustCnt(pageCnt int)
 	Threshold() int
 	Promotions() int64
+	// SetProbe attaches telemetry (nil-safe; now supplies timestamps).
+	SetProbe(pr telemetry.Probe, now func() sim.Time)
 }
 
 var (

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"flatflash/internal/sim"
+	"flatflash/internal/telemetry"
 )
 
 // ReplacementPolicy selects the victim-selection algorithm.
@@ -87,6 +88,9 @@ type Cache struct {
 	nsets int
 	tick  uint64
 
+	probe telemetry.Probe // nil when telemetry is disabled
+	now   func() sim.Time // clock source for event timestamps
+
 	hits, misses, evictions, dirtyEvicts int64
 }
 
@@ -106,6 +110,13 @@ func New(cfg Config) (*Cache, error) {
 // Config returns the cache configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
+// SetProbe attaches a telemetry probe emitting hit/miss/eviction events on
+// the SSD track. The cache has no clock of its own, so the owner supplies
+// now (typically the hierarchy's Clock.Now). A nil probe disables emission.
+func (c *Cache) SetProbe(p telemetry.Probe, now func() sim.Time) {
+	c.probe, c.now = p, now
+}
+
 func (c *Cache) setOf(lpn uint32) int { return int(lpn) % c.nsets }
 
 // Lookup finds lpn in the cache. On a hit it applies the replacement
@@ -120,10 +131,16 @@ func (c *Cache) Lookup(lpn uint32) (*Entry, bool) {
 			c.tick++
 			e.rrpv = 0
 			e.used = c.tick
+			if c.probe != nil {
+				c.probe.Event(telemetry.EvCacheHit, telemetry.TrackSSD, c.now(), int64(lpn))
+			}
 			return e, true
 		}
 	}
 	c.misses++
+	if c.probe != nil {
+		c.probe.Event(telemetry.EvCacheMiss, telemetry.TrackSSD, c.now(), int64(lpn))
+	}
 	return nil, false
 }
 
@@ -177,6 +194,9 @@ func (c *Cache) Insert(lpn uint32, data []byte, dirty bool) (e *Entry, victim Vi
 		c.evictions++
 		if v.Dirty {
 			c.dirtyEvicts++
+		}
+		if c.probe != nil {
+			c.probe.Event(telemetry.EvCacheEvict, telemetry.TrackSSD, c.now(), int64(v.LPN))
 		}
 	}
 	c.tick++

@@ -196,7 +196,26 @@ func (c *Counters) Names() []string {
 	return out
 }
 
-// Merge adds all counters of other into c.
+// KV is one counter in a Snapshot.
+type KV struct {
+	Name  string
+	Value int64
+}
+
+// Snapshot returns all counters sorted by name. The deterministic order
+// makes experiment reports and telemetry dumps byte-stable across runs
+// regardless of counter creation order.
+func (c *Counters) Snapshot() []KV {
+	out := make([]KV, 0, len(c.order))
+	for _, n := range c.order {
+		out = append(out, KV{Name: n, Value: c.vals[n]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Merge adds all counters of other into c in sorted name order, so the
+// merged first-use order is deterministic whatever order other was built in.
 func (c *Counters) Merge(other *Counters) {
 	names := other.Names()
 	sort.Strings(names)

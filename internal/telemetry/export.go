@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"flatflash/internal/sim"
+)
+
+// WriteChromeTrace writes the tracer's spans (and, when reg is non-nil, the
+// registry's sampled series as counter tracks) in the Chrome trace-event
+// JSON array format, directly loadable at ui.perfetto.dev or
+// chrome://tracing.
+//
+// Mapping: every Track becomes a named thread (tid) of one process, span
+// records become complete events ("ph":"X") that Perfetto nests by time
+// containment, Event records become instant events ("ph":"i"), and metric
+// rows become counter events ("ph":"C") that render as value tracks.
+// Timestamps are virtual-time microseconds with nanosecond precision.
+func WriteChromeTrace(w io.Writer, t *Tracer, reg *Registry) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("[\n")
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+
+	emit(`{"ph":"M","pid":0,"name":"process_name","args":{"name":"flatflash"}}`)
+	for tr := Track(0); tr < numTracks; tr++ {
+		emit(`{"ph":"M","pid":0,"tid":%d,"name":"thread_name","args":{"name":"%s"}}`, tr, tr)
+		emit(`{"ph":"M","pid":0,"tid":%d,"name":"thread_sort_index","args":{"sort_index":%d}}`, tr, tr)
+	}
+
+	if t != nil {
+		for _, s := range t.Spans() {
+			if s.Instant {
+				emit(`{"ph":"i","s":"t","pid":0,"tid":%d,"ts":%s,"name":"%s","args":{"arg":%d}}`,
+					s.Track, usec(s.Start), s.Kind, s.Arg)
+				continue
+			}
+			emit(`{"ph":"X","pid":0,"tid":%d,"ts":%s,"dur":%s,"name":"%s","args":{"arg":%d}}`,
+				s.Track, usec(s.Start), usecDur(s.Dur), s.Kind, s.Arg)
+		}
+	}
+
+	if reg != nil {
+		names := reg.SeriesNames()
+		for _, row := range reg.Rows() {
+			for j, v := range row.Vals {
+				emit(`{"ph":"C","pid":0,"ts":%s,"name":"%s","args":{"value":%s}}`,
+					usec(row.T), names[j], formatFloat(v))
+			}
+		}
+	}
+
+	bw.WriteString("\n]\n")
+	return bw.Flush()
+}
+
+// WriteJSONL writes the retained spans as JSON Lines, one span per line:
+//
+//	{"seq":0,"kind":"access","track":"cpu","start_ns":0,"dur_ns":4800,"arg":64}
+//
+// Instant events carry "instant":true and no "dur_ns". The stream is
+// deterministic for same-seed runs and convenient for jq/awk pipelines.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range t.Spans() {
+		if s.Instant {
+			fmt.Fprintf(bw, `{"seq":%d,"kind":"%s","track":"%s","start_ns":%d,"instant":true,"arg":%d}`+"\n",
+				s.Seq, s.Kind, s.Track, int64(s.Start), s.Arg)
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, `{"seq":%d,"kind":"%s","track":"%s","start_ns":%d,"dur_ns":%d,"arg":%d}`+"\n",
+			s.Seq, s.Kind, s.Track, int64(s.Start), int64(s.Dur), s.Arg); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// usec renders a virtual time as microseconds with nanosecond precision.
+func usec(t sim.Time) string { return fmt.Sprintf("%d.%03d", int64(t)/1000, int64(t)%1000) }
+
+// usecDur renders a duration as microseconds with nanosecond precision.
+func usecDur(d sim.Duration) string { return fmt.Sprintf("%d.%03d", int64(d)/1000, int64(d)%1000) }

@@ -1,0 +1,261 @@
+// Package telemetry is the simulator's observability layer: a span tracer
+// keyed to the virtual clock (sim.Time), a metrics registry with gauges and
+// epoch-sampled time series, and exporters to Chrome trace-event JSON
+// (loadable in Perfetto at ui.perfetto.dev) and compact JSONL streams.
+//
+// Every hierarchy layer — page-table/TLB lookup, PCIe MMIO transactions,
+// SSD-Cache probes, FTL/flash service, DRAM access, promotion flights —
+// reports through the nil-safe Probe interface. Instrumentation is off by
+// default: a nil Probe (and a nil *Registry) makes every hook a single
+// pointer comparison, so the disabled path adds zero allocations and no
+// measurable cost per access. When enabled, the Tracer records spans into a
+// preallocated ring buffer, so the enabled path is allocation-free per span
+// too; only export allocates.
+//
+// All timestamps are virtual time. Two runs with the same seed therefore
+// produce byte-identical trace and metrics output, which makes telemetry
+// dumps diffable artifacts for regression hunting.
+package telemetry
+
+import "flatflash/internal/sim"
+
+// SpanKind identifies what a span or event measured. The taxonomy follows
+// the paper's component breakdown (Table 2): each kind corresponds to one
+// stage an access can pass through in the unified hierarchy.
+type SpanKind uint8
+
+// Span kinds (durations) and event kinds (instants).
+const (
+	// SpanAccess covers one whole Hierarchy.Read/Write call on the CPU
+	// track; inner stages nest inside it. Arg is the byte count.
+	SpanAccess SpanKind = iota
+	// SpanTranslate is a page-table walk after a TLB miss. Arg is the VPN.
+	SpanTranslate
+	// SpanDRAM is a host-DRAM service of the access. Arg is the frame.
+	SpanDRAM
+	// SpanHostCacheHit is a coherent host-cache hit (§3.1). Arg is the LPN.
+	SpanHostCacheHit
+	// SpanPLBRedirect is an access served by an in-flight promotion's DRAM
+	// destination through the PLB (Figure 4). Arg is the LPN.
+	SpanPLBRedirect
+	// SpanCacheProbe is an SSD-Cache probe (hit service or miss fill wait)
+	// inside the SSD controller. Arg is the LPN.
+	SpanCacheProbe
+	// SpanMMIORead is a non-posted PCIe cache-line read round trip. Arg is
+	// 1 when the packet carried the Persist attribute bit, else 0.
+	SpanMMIORead
+	// SpanMMIOWrite is a posted PCIe cache-line write. Arg as SpanMMIORead.
+	SpanMMIOWrite
+	// SpanDMAPage is one page DMA transfer over the link.
+	SpanDMAPage
+	// SpanFlashRead is a NAND page read inside the device. Arg is the LPN.
+	SpanFlashRead
+	// SpanFlashWrite is a NAND page program. Arg is the LPN.
+	SpanFlashWrite
+	// SpanGC is one garbage-collection pass (victim read-modify-write and
+	// erase). Arg is the victim block.
+	SpanGC
+	// SpanPromotion is an in-flight page promotion from SSD-Cache to host
+	// DRAM, spanning start to deadline on the background track. Arg is the
+	// LPN.
+	SpanPromotion
+	// SpanPromotionStall is the no-PLB ablation: the CPU stalls for the
+	// whole promotion. Arg is the LPN.
+	SpanPromotionStall
+	// SpanPageFault is a baseline page fault (trap + handler + migration).
+	// Arg is the faulting VPN.
+	SpanPageFault
+	// SpanPersist is a byte-granular persistence barrier (§3.5, Figure 5).
+	// Arg is the number of cache lines flushed.
+	SpanPersist
+	// SpanSync is a page-granularity durable write (fsync-like). Arg is the
+	// page count.
+	SpanSync
+
+	// EvCacheHit and EvCacheMiss are SSD-Cache lookup outcomes. Arg is the
+	// LPN.
+	EvCacheHit
+	EvCacheMiss
+	// EvCacheEvict is an SSD-Cache eviction. Arg is the victim LPN.
+	EvCacheEvict
+	// EvPromoteTrigger marks Algorithm 1 firing for a page. Arg is the LPN.
+	EvPromoteTrigger
+	// EvPromoteComplete marks a promotion finalized (PTE/TLB updated). Arg
+	// is the LPN.
+	EvPromoteComplete
+	// EvThreshold marks the adaptive policy changing its promotion
+	// threshold. Arg is the new threshold.
+	EvThreshold
+	// EvEpochReset marks an Algorithm 1 adaptation-epoch reset.
+	EvEpochReset
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	SpanAccess:         "access",
+	SpanTranslate:      "translate",
+	SpanDRAM:           "dram",
+	SpanHostCacheHit:   "hostcache_hit",
+	SpanPLBRedirect:    "plb_redirect",
+	SpanCacheProbe:     "ssdcache_probe",
+	SpanMMIORead:       "mmio_read",
+	SpanMMIOWrite:      "mmio_write",
+	SpanDMAPage:        "dma_page",
+	SpanFlashRead:      "flash_read",
+	SpanFlashWrite:     "flash_write",
+	SpanGC:             "gc",
+	SpanPromotion:      "promotion",
+	SpanPromotionStall: "promotion_stall",
+	SpanPageFault:      "page_fault",
+	SpanPersist:        "persist_barrier",
+	SpanSync:           "sync_pages",
+	EvCacheHit:         "cache_hit",
+	EvCacheMiss:        "cache_miss",
+	EvCacheEvict:       "cache_evict",
+	EvPromoteTrigger:   "promote_trigger",
+	EvPromoteComplete:  "promote_complete",
+	EvThreshold:        "threshold",
+	EvEpochReset:       "epoch_reset",
+}
+
+// String returns the kind's export name.
+func (k SpanKind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Track is the timeline a span belongs to. Tracks map to Perfetto threads,
+// so spans on the same track nest by time containment while different
+// hardware resources get parallel timelines.
+type Track uint8
+
+// Tracks, one per modeled resource.
+const (
+	TrackCPU   Track = iota // the accessing thread's critical path
+	TrackPCIe               // link transactions (occupancy + round trips)
+	TrackSSD                // SSD-Cache and promotion-policy activity
+	TrackFlash              // NAND device service and GC
+	TrackPromo              // background promotion flights
+	numTracks
+)
+
+var trackNames = [numTracks]string{
+	TrackCPU:   "cpu",
+	TrackPCIe:  "pcie",
+	TrackSSD:   "ssd-cache",
+	TrackFlash: "flash",
+	TrackPromo: "promotion",
+}
+
+// String returns the track's display name.
+func (t Track) String() string {
+	if int(t) < len(trackNames) {
+		return trackNames[t]
+	}
+	return "unknown"
+}
+
+// Probe receives instrumentation callbacks from the simulator layers. All
+// call sites guard with a nil check, so a disabled probe costs one pointer
+// comparison and zero allocations per access. Implementations must not
+// retain the arguments beyond the call.
+type Probe interface {
+	// Span records a duration [start, end] on a track. Arg is a
+	// kind-specific identifier (LPN, VPN, frame, byte count...).
+	Span(kind SpanKind, track Track, start, end sim.Time, arg int64)
+	// Event records an instantaneous occurrence at a point in virtual time.
+	Event(kind SpanKind, track Track, at sim.Time, arg int64)
+}
+
+// Span is one recorded span or instant event.
+type Span struct {
+	Seq     uint64 // record order, strictly increasing
+	Kind    SpanKind
+	Track   Track
+	Instant bool // true for Event records (Dur is 0)
+	Start   sim.Time
+	Dur     sim.Duration
+	Arg     int64
+}
+
+// End returns the span's end time.
+func (s Span) End() sim.Time { return s.Start.Add(s.Dur) }
+
+// DefaultTracerCapacity is the default ring size: the newest spans are kept
+// and older ones are dropped (counted in Dropped) once the ring wraps.
+const DefaultTracerCapacity = 1 << 17
+
+// Tracer is a Probe that collects spans into a fixed-capacity ring buffer.
+// Recording never allocates; when the ring is full the oldest spans are
+// overwritten. A nil *Tracer must not be stored into a Probe interface —
+// keep the interface itself nil to disable tracing.
+type Tracer struct {
+	ring []Span
+	seq  uint64
+}
+
+// NewTracer returns a Tracer keeping the most recent capacity spans
+// (DefaultTracerCapacity if capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTracerCapacity
+	}
+	return &Tracer{ring: make([]Span, 0, capacity)}
+}
+
+func (t *Tracer) record(s Span) {
+	s.Seq = t.seq
+	t.seq++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, s)
+		return
+	}
+	t.ring[int(s.Seq)%cap(t.ring)] = s
+}
+
+// Span implements Probe.
+func (t *Tracer) Span(kind SpanKind, track Track, start, end sim.Time, arg int64) {
+	if end.Before(start) {
+		end = start
+	}
+	t.record(Span{Kind: kind, Track: track, Start: start, Dur: end.Sub(start), Arg: arg})
+}
+
+// Event implements Probe.
+func (t *Tracer) Event(kind SpanKind, track Track, at sim.Time, arg int64) {
+	t.record(Span{Kind: kind, Track: track, Instant: true, Start: at, Arg: arg})
+}
+
+// Recorded returns how many spans were recorded in total (including ones
+// the ring has since overwritten).
+func (t *Tracer) Recorded() uint64 { return t.seq }
+
+// Dropped returns how many spans were overwritten by ring wrap-around.
+func (t *Tracer) Dropped() uint64 {
+	if t.seq <= uint64(cap(t.ring)) {
+		return 0
+	}
+	return t.seq - uint64(cap(t.ring))
+}
+
+// Spans returns the retained spans in record order (oldest first).
+func (t *Tracer) Spans() []Span {
+	out := make([]Span, 0, len(t.ring))
+	if t.seq <= uint64(cap(t.ring)) {
+		return append(out, t.ring...)
+	}
+	head := int(t.seq) % cap(t.ring) // oldest retained slot
+	out = append(out, t.ring[head:]...)
+	return append(out, t.ring[:head]...)
+}
+
+// Reset drops all recorded spans, keeping the buffer capacity.
+func (t *Tracer) Reset() {
+	t.ring = t.ring[:0]
+	t.seq = 0
+}
+
+var _ Probe = (*Tracer)(nil)

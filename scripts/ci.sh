@@ -1,0 +1,23 @@
+#!/bin/sh
+# Tier-1 gate: formatting, vet, build, and the full test suite under the
+# race detector. Run from the repo root (make ci does).
+set -eu
+
+echo "== gofmt =="
+unformatted=$(gofmt -l . | grep -v '^\.git/' || true)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:"
+    echo "$unformatted"
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "ci: all green"
