@@ -3,7 +3,7 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: ci fmt vet build test race bench
+.PHONY: ci fmt vet build test race bench fuzz crashsweep
 
 ci:
 	./scripts/ci.sh
@@ -26,3 +26,10 @@ race:
 
 bench:
 	go test -bench=. -benchmem -run=^$$ ./...
+
+fuzz:
+	go test -fuzz=FuzzParse -fuzztime=10s -run=^$$ ./internal/trace
+	go test -fuzz=FuzzFaultPlan -fuzztime=10s -run=^$$ ./internal/fault
+
+crashsweep:
+	go run ./cmd/flatflash-bench crashsweep -points 60

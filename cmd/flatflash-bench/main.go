@@ -5,23 +5,33 @@
 //
 //	flatflash-bench [-quick] [experiment ...]
 //	flatflash-bench -list
+//	flatflash-bench crashsweep [-points N] [-seed S] [-workloads fsim,txdb]
 //
 // With no experiment arguments it runs everything in paper order. Use
 // -quick for a fast pass with reduced sizes (same shapes, more noise).
+// The crashsweep subcommand runs the crash-consistency harness and exits
+// non-zero if any recovery invariant is violated.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"flatflash/internal/crashsweep"
 	"flatflash/internal/experiments"
+	"flatflash/internal/fault"
 	"flatflash/internal/sim"
 	"flatflash/internal/telemetry"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "crashsweep" {
+		runCrashsweep(os.Args[2:])
+		return
+	}
 	quick := flag.Bool("quick", false, "run with reduced sizes (faster, noisier)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON file covering all runs")
@@ -92,6 +102,50 @@ func main() {
 func check(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flatflash-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// runCrashsweep executes the crash-consistency sweep harness. The defaults
+// (60 points x fsim + txdb) give 120 seeded crash points per invocation.
+func runCrashsweep(args []string) {
+	fs := flag.NewFlagSet("crashsweep", flag.ExitOnError)
+	var (
+		points    = fs.Int("points", 60, "crash points per workload")
+		seed      = fs.Uint64("seed", 1, "sweep seed (same seed => byte-identical report)")
+		workloads = fs.String("workloads", "fsim,txdb", "comma-separated workloads to sweep")
+		planPath  = fs.String("fault-plan", "", "layer extra faults from this plan file onto every crash run")
+		breakRec  = fs.Bool("break-recovery", false, "sabotage recovery (test-only; the sweep must then report violations)")
+	)
+	check(fs.Parse(args))
+	cfg := crashsweep.Config{
+		Seed:          *seed,
+		Points:        *points,
+		Workloads:     strings.Split(*workloads, ","),
+		BreakRecovery: *breakRec,
+	}
+	if *planPath != "" {
+		f, err := os.Open(*planPath)
+		check(err)
+		cfg.ExtraPlan, err = fault.ParsePlan(f)
+		f.Close()
+		check(err)
+	}
+	rep, err := crashsweep.Run(cfg)
+	check(err)
+	check(rep.Write(os.Stdout))
+	if *breakRec {
+		// Self-test mode: a sabotaged recovery that produces a clean report
+		// means the harness checks nothing.
+		if rep.Violations == 0 {
+			fmt.Fprintln(os.Stderr, "flatflash-bench: broken recovery went UNDETECTED")
+			os.Exit(1)
+		}
+		fmt.Printf("broken recovery detected (%d violations), harness is live\n", rep.Violations)
+		return
+	}
+	if rep.Violations > 0 {
+		fmt.Fprintf(os.Stderr, "flatflash-bench: %d crash-consistency violations\n", rep.Violations)
 		os.Exit(1)
 	}
 }

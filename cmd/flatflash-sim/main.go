@@ -6,6 +6,7 @@
 //	flatflash-sim -kind flatflash -pattern zipf -ops 50000 -wss 16MB
 //	flatflash-sim -kind unifiedmmap -replay hot.trace
 //	flatflash-sim -pattern rand -record rand.trace -ops 10000
+//	flatflash-sim -kind flatflash -fault-plan faults.plan -ops 20000
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"flatflash/internal/core"
+	"flatflash/internal/fault"
 	"flatflash/internal/sim"
 	"flatflash/internal/telemetry"
 	"flatflash/internal/trace"
@@ -35,6 +37,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "workload seed")
 		record    = flag.String("record", "", "write the generated trace to this file")
 		replay    = flag.String("replay", "", "replay a trace file instead of generating")
+		faultPlan = flag.String("fault-plan", "", "inject faults from this plan file (flatflash only); the replay recovers and rides through crashes")
 
 		traceOut   = flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON file")
 		metricsOut = flag.String("metrics-out", "", "write epoch-sampled metrics as JSON Lines")
@@ -62,6 +65,24 @@ func main() {
 		check(fmt.Errorf("unknown kind %q", *kind))
 	}
 	check(err)
+
+	// Fault injection targets the FlatFlash hierarchy's device boundaries;
+	// the baselines don't model them.
+	var faults *fault.Engine
+	if *faultPlan != "" {
+		ff, ok := h.(*core.FlatFlash)
+		if !ok {
+			check(fmt.Errorf("-fault-plan requires -kind flatflash, not %q", *kind))
+		}
+		f, err := os.Open(*faultPlan)
+		check(err)
+		plan, err := fault.ParsePlan(f)
+		f.Close()
+		check(err)
+		faults, err = fault.NewEngine(plan, *seed)
+		check(err)
+		ff.SetFaults(faults)
+	}
 
 	// Telemetry: the registry always runs (it feeds the ops/virtual-second
 	// summary); the span tracer only when a trace file was requested. The
@@ -105,8 +126,19 @@ func main() {
 
 	region, err := h.Mmap(wssB)
 	check(err)
-	res, err := trace.Replay(h, region, t)
-	check(err)
+	var res trace.Result
+	if faults != nil {
+		var crashes int
+		res, crashes, err = trace.ReplayCrashAware(h, region, t)
+		check(err)
+		st := faults.Stats()
+		fmt.Printf("faults: survived %d crashes (fired=%d nand=%d/%d mmio=%d/%d battery=%d)\n",
+			crashes, st.CrashesFired, st.ProgramFailures, st.EraseFailures,
+			st.MMIODropped, st.MMIOTorn, st.BatteryTruncated)
+	} else {
+		res, err = trace.Replay(h, region, t)
+		check(err)
+	}
 	reg.Finish(h.Now())
 
 	fmt.Printf("system=%s ops=%d elapsed=%v\n", h.Name(), res.Ops, res.Elapsed)

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"flatflash/internal/dram"
+	"flatflash/internal/fault"
 	"flatflash/internal/ftl"
 	"flatflash/internal/pcie"
 	"flatflash/internal/plb"
@@ -37,6 +39,9 @@ type FlatFlash struct {
 	hostCache *hostLineCache    // nil unless cfg.HostCacheLines > 0 (§3.1)
 	scratch   []byte
 	crashed   bool
+
+	faults         *fault.Engine // nil = no injection
+	brokenRecovery bool          // test-only: sabotage Recover (see BreakRecoveryForTesting)
 
 	probe telemetry.Probe     // nil when telemetry is disabled
 	reg   *telemetry.Registry // nil when metrics are disabled
@@ -124,6 +129,36 @@ func NewFlatFlash(cfg Config) (*FlatFlash, error) {
 // Name implements Hierarchy.
 func (s *FlatFlash) Name() string { return "FlatFlash" }
 
+// SetFaults attaches a fault-injection engine, threading it to the NAND
+// device (program/erase failures) and the PCIe link (dropped/torn posted
+// writes); the hierarchy itself consults it for scheduled power losses and
+// battery budgets. A nil engine disables injection.
+func (s *FlatFlash) SetFaults(e *fault.Engine) {
+	s.faults = e
+	s.ftl.Device().SetFaults(e)
+	s.link.SetFaults(e)
+	if s.probe != nil {
+		e.SetProbe(s.probe)
+	}
+}
+
+// BreakRecoveryForTesting makes Recover drop the battery-backed write
+// buffer, modeling firmware that fails to preserve the persistence domain.
+// It exists so the crash-sweep harness can prove it catches real durability
+// bugs; production code must never enable it.
+func (s *FlatFlash) BreakRecoveryForTesting(on bool) { s.brokenRecovery = on }
+
+// checkCrash fires a scheduled power loss if one is due: the hierarchy
+// crashes mid-operation, at cache-line granularity — the atomicity unit of
+// posted MMIO writes — rather than only between ops.
+func (s *FlatFlash) checkCrash() error {
+	if !s.faults.CrashDue(s.clock.Now()) {
+		return nil
+	}
+	s.Crash()
+	return ErrCrashed
+}
+
 // Config returns the configuration the hierarchy was built with.
 func (s *FlatFlash) Config() Config { return s.cfg }
 
@@ -143,6 +178,7 @@ func (s *FlatFlash) Instrument(probe telemetry.Probe, reg *telemetry.Registry) {
 	if s.pol != nil {
 		s.pol.SetProbe(probe, s.clock.Now)
 	}
+	s.faults.SetProbe(probe)
 	reg.Start(s.clock.Now())
 	reg.RegisterGauge("ssdcache_hit_ratio", s.cach.HitRatio)
 	reg.RegisterGauge("plb_hit_ratio", s.plb.HitRatio)
@@ -228,6 +264,9 @@ func (s *FlatFlash) access(addr uint64, buf []byte, isWrite bool) (sim.Duration,
 // accessChunk services one sub-cache-line access to one page, advancing the
 // actor clock by the latency the CPU observes.
 func (s *FlatFlash) accessChunk(vpn uint64, off int, b []byte, isWrite bool) error {
+	if err := s.checkCrash(); err != nil {
+		return err
+	}
 	s.completePromotions()
 	now := s.clock.Now()
 
@@ -284,13 +323,28 @@ func (s *FlatFlash) accessChunk(vpn uint64, off int, b []byte, isWrite bool) err
 
 	// Direct byte-granular SSD access over PCIe MMIO.
 	if isWrite {
-		hostDone := s.link.MMIOWrite(now, pte.Persist)
+		hostDone, outcome := s.link.MMIOWriteChecked(now, pte.Persist)
 		s.c.Add("mmio_writes", 1)
+		if outcome == fault.WriteDropped {
+			// The posted packet was lost in the fabric: the SSD never sees
+			// the store. Posted writes are fire-and-forget, so the CPU
+			// proceeds unaware; only its own coherent cache holds the data.
+			if s.hostCache != nil {
+				s.hostCache.update(lpn, line, off-lineStart, b)
+			}
+			s.clock.AdvanceTo(hostDone)
+			return nil
+		}
 		e, _, hit := s.ensureCached(now, lpn)
 		if e == nil {
 			return ErrNoSSDSpace
 		}
-		copy(e.Data[off:], b)
+		w := b
+		if outcome == fault.WriteTorn {
+			// Torn packet: only the first half of the payload lands.
+			w = b[:len(b)/2]
+		}
+		copy(e.Data[off:off+len(w)], w)
 		e.Dirty = true
 		if s.hostCache != nil {
 			// Write-through: keep any coherently cached copy of the line
@@ -557,6 +611,7 @@ func (s *FlatFlash) Counters() *stats.Counters {
 	out.Add("gc_runs", rm.GCRuns)
 	out.Add("gc_relocations", rm.Relocations)
 	out.Add("gc_remap_interrupts", rm.BatchInterrupts)
+	out.Add("ftl_bad_blocks", rm.BadBlocks)
 	r, w, d, p := s.link.Stats()
 	out.Add("pcie_mmio_reads", r)
 	out.Add("pcie_mmio_writes", w)
@@ -571,7 +626,48 @@ func (s *FlatFlash) Counters() *stats.Counters {
 		out.Add("policy_promotions", s.pol.Promotions())
 		out.Add("policy_threshold", int64(s.pol.Threshold()))
 	}
+	if s.faults != nil {
+		fs := s.faults.Stats()
+		out.Add("fault_crashes", fs.CrashesFired)
+		out.Add("fault_program_failures", fs.ProgramFailures)
+		out.Add("fault_erase_failures", fs.EraseFailures)
+		out.Add("fault_mmio_dropped", fs.MMIODropped)
+		out.Add("fault_mmio_torn", fs.MMIOTorn)
+		out.Add("fault_battery_truncations", fs.BatteryTruncated)
+		dropped, torn := s.link.FaultStats()
+		out.Add("pcie_mmio_dropped", dropped)
+		out.Add("pcie_mmio_torn", torn)
+		out.Add("plb_aborted_promotions", s.plb.AbortedCount())
+	}
 	return out
+}
+
+// CheckInvariants verifies cross-layer agreement after recovery: every
+// mapped SSD page's PTE points back at it (directly, or through a DRAM frame
+// the promotion bookkeeping also knows), and the FTL's L2P/P2L maps are
+// mutual inverses with consistent per-block valid counts.
+func (s *FlatFlash) CheckInvariants() error {
+	lpns := make([]uint32, 0, len(s.vpnOfLPN))
+	for lpn := range s.vpnOfLPN {
+		lpns = append(lpns, lpn)
+	}
+	sort.Slice(lpns, func(i, j int) bool { return lpns[i] < lpns[j] })
+	for _, lpn := range lpns {
+		vpn := s.vpnOfLPN[lpn]
+		pte := s.as.PTEOf(vpn)
+		if pte == nil {
+			return fmt.Errorf("core: vpn %d of lpn %d has no PTE", vpn, lpn)
+		}
+		if pte.SSDPage != lpn {
+			return fmt.Errorf("core: vpn %d PTE names lpn %d, want %d", vpn, pte.SSDPage, lpn)
+		}
+		if pte.Loc == vm.InDRAM {
+			if mapped, ok := s.vpnOfFrm[pte.Frame]; !ok || mapped != vpn {
+				return fmt.Errorf("core: vpn %d PTE names frame %d not mapped back to it", vpn, pte.Frame)
+			}
+		}
+	}
+	return s.ftl.CheckConsistency()
 }
 
 // HitRatio returns the combined service ratio from fast paths: fraction of

@@ -20,6 +20,9 @@ func (s *FlatFlash) Persist(addr uint64, size int) (sim.Duration, error) {
 	if s.crashed {
 		return 0, ErrCrashed
 	}
+	if err := s.checkCrash(); err != nil {
+		return 0, err
+	}
 	if size <= 0 {
 		return 0, nil
 	}
@@ -61,6 +64,11 @@ func (s *FlatFlash) SyncPages(addr uint64, n int) (sim.Duration, error) {
 	vpn := addr / uint64(s.cfg.PageSize)
 	now := s.clock.Now()
 	for i := 0; i < n; i++ {
+		// A power loss can land between page transfers: earlier pages are
+		// already in the persistence domain, later ones are not.
+		if err := s.checkCrash(); err != nil {
+			return 0, err
+		}
 		pte, tLat, err := s.as.Translate(vpn + uint64(i))
 		if err != nil {
 			return 0, ErrOutOfRange
@@ -124,10 +132,11 @@ func (s *FlatFlash) Crash() {
 	if s.crashed {
 		return
 	}
-	// In-flight promotions die with their DRAM frames; PTEs still point at
-	// the SSD, so no mapping change is needed — just reclaim the frames.
-	for _, c := range s.plb.Flush(s.clock.Now()) {
-		s.dram.Release(c.Frame)
+	// In-flight promotions are aborted, not completed: the PLB lives in the
+	// host bridge, outside the persistence domain. PTEs still point at the
+	// SSD, so no mapping change is needed — just reclaim the frames.
+	for _, a := range s.plb.AbortAll() {
+		s.dram.Release(a.Frame)
 	}
 	// Every DRAM-resident page reverts to its SSD backing (whatever last
 	// reached the persistence domain).
@@ -141,14 +150,49 @@ func (s *FlatFlash) Crash() {
 	if s.hostCache != nil {
 		s.hostCache.drop() // CPU caches are volatile
 	}
-	if !s.cfg.BatteryBacked {
+	if s.cfg.BatteryBacked {
+		// A drained battery (injected fault) saves only the first pages of
+		// the firmware's deterministic ascending-LPN flush order.
+		if keep, limited := s.faults.BatteryBudget(s.clock.Now()); limited {
+			lost := s.cach.DropDirtyBeyond(keep)
+			s.c.Add("battery_lost_pages", int64(lost))
+		}
+	} else {
 		for _, lpn := range s.cach.DirtyPages() {
 			s.cach.Remove(lpn)
 		}
 	}
+	// Controller SRAM is volatile: Algorithm 1's aggregates and the per-page
+	// access counters do not survive, though cached data (battery) does.
+	if s.pol != nil {
+		s.pol.Reset()
+	}
+	s.cach.ResetPageCnts()
 	s.c.Add("crashes", 1)
 	s.crashed = true
 }
 
-// Recover implements Hierarchy.
-func (s *FlatFlash) Recover() { s.crashed = false }
+// Recover implements Hierarchy: power-on after a crash. The merged
+// FTL/page-table mapping is rebuilt from the per-page metadata that survived
+// on flash (the OOB logical-address scan), and the cross-layer invariants
+// are re-checked; violations are surfaced in the counters so harnesses can
+// assert on them.
+func (s *FlatFlash) Recover() {
+	if !s.crashed {
+		return
+	}
+	if s.brokenRecovery {
+		// Test-only sabotage: the firmware "forgets" the battery-backed
+		// write buffer, losing every dirty page the crash had preserved. The
+		// crash-sweep harness must flag the resulting durability violations.
+		for _, lpn := range s.cach.DirtyPages() {
+			s.cach.Remove(lpn)
+		}
+	}
+	s.c.Add("recovery_l2p_entries", int64(s.ftl.RebuildL2P()))
+	if err := s.CheckInvariants(); err != nil {
+		s.c.Add("recovery_invariant_violations", 1)
+	}
+	s.c.Add("recoveries", 1)
+	s.crashed = false
+}

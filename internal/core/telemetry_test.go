@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"flatflash/internal/fault"
 	"flatflash/internal/sim"
 	"flatflash/internal/telemetry"
 )
@@ -60,10 +61,32 @@ func driveInstrumented(t *testing.T, build func() (Hierarchy, error), seed uint6
 
 func buildFF() (Hierarchy, error) { return NewFlatFlash(testConfig()) }
 
+// buildFaultedFF attaches a fresh fault engine injecting non-crash faults
+// (NAND failures and MMIO drops/tears ride through the workload without
+// erroring the access path, unlike a power loss).
+func buildFaultedFF() (Hierarchy, error) {
+	ff, err := NewFlatFlash(testConfig())
+	if err != nil {
+		return nil, err
+	}
+	eng, err := fault.NewEngine(fault.Plan{
+		{Kind: fault.ProgramFail, At: sim.Time(50 * sim.Microsecond), N: 2},
+		{Kind: fault.MMIODrop, At: sim.Time(120 * sim.Microsecond), N: 3},
+		{Kind: fault.MMIOTorn, At: sim.Time(200 * sim.Microsecond), N: 2},
+	}, 7)
+	if err != nil {
+		return nil, err
+	}
+	ff.SetFaults(eng)
+	return ff, nil
+}
+
 // TestTelemetryDeterministic: two same-seed runs must export byte-identical
-// trace and metrics files — the property that makes dumps diffable.
+// trace and metrics files — the property that makes dumps diffable. The
+// faulted builder extends the guarantee to fault-injected runs: the engine's
+// seeded draws are part of the deterministic state.
 func TestTelemetryDeterministic(t *testing.T) {
-	for _, build := range []func() (Hierarchy, error){buildFF,
+	for _, build := range []func() (Hierarchy, error){buildFF, buildFaultedFF,
 		func() (Hierarchy, error) { return NewUnifiedMMap(testConfig()) }} {
 		t1, m1, _ := driveInstrumented(t, build, 7)
 		t2, m2, _ := driveInstrumented(t, build, 7)

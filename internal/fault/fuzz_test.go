@@ -1,0 +1,42 @@
+package fault
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzFaultPlan ensures the plan parser never panics and that anything it
+// accepts round-trips through WriteTo/ParsePlan unchanged.
+func FuzzFaultPlan(f *testing.F) {
+	f.Add("crash 0\n")
+	f.Add("crash 100us\nprogram-fail 1ms 3\nbattery-drain 0 0\n")
+	f.Add("# comment\nmmio-drop 5 1 # inline\nmmio-torn 5 1\nerase-fail 2s 2\n")
+	f.Add("")
+	f.Add("crash 9223372036854775807\n")
+	f.Add("crash -1\n")
+	f.Add("melt 1 1\n")
+	f.Add("crash 10s10s\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := ParsePlan(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := p.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo of parsed plan: %v", err)
+		}
+		back, err := ParsePlan(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of encoded plan: %v", err)
+		}
+		if len(back) != len(p) {
+			t.Fatalf("round trip changed length: %d -> %d", len(p), len(back))
+		}
+		for i := range p {
+			if back[i] != p[i] {
+				t.Fatalf("fault %d changed: %+v -> %+v", i, p[i], back[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,239 @@
+// Package fault implements the deterministic fault-injection engine of the
+// crash-consistency harness: a parseable fault plan scheduling power loss at
+// arbitrary virtual nanoseconds, NAND program/erase failures, dropped or
+// torn MMIO cache-line writes at the PCIe boundary, and battery-drain
+// truncation of the SSD-Cache persistence domain at crash time.
+//
+// The engine is seeded and runs entirely on virtual time, so two runs with
+// the same plan and seed inject the identical fault sequence — the property
+// the crash-sweep harness (internal/crashsweep) relies on to make every
+// invariant report byte-identical across runs.
+//
+// The plan file format is line-oriented, one fault per line, with '#'
+// comments and blank lines ignored:
+//
+//	crash <at>
+//	program-fail <at> <n>
+//	erase-fail <at> <n>
+//	mmio-drop <at> <n>
+//	mmio-torn <at> <n>
+//	battery-drain <at> <keep>
+//
+// <at> is a virtual time with an optional unit suffix (ns, us, ms, s;
+// default ns). A crash fires once when virtual time first reaches <at>;
+// later crash lines arm again after recovery. program-fail/erase-fail fail
+// the next <n> NAND programs/erases issued at or after <at>. mmio-drop and
+// mmio-torn hit the next <n> posted MMIO cache-line writes (the posted
+// packet is lost entirely, or only the first half of its payload lands).
+// battery-drain limits the battery-backed SSD-Cache to flushing <keep>
+// dirty pages when a crash at or after <at> occurs.
+package fault
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"flatflash/internal/sim"
+)
+
+// Kind identifies a fault class.
+type Kind uint8
+
+// Fault kinds.
+const (
+	// Crash is a power loss at a virtual time. N is unused (always 1).
+	Crash Kind = iota
+	// ProgramFail fails the next N NAND page programs at/after At.
+	ProgramFail
+	// EraseFail fails the next N NAND block erases at/after At.
+	EraseFail
+	// MMIODrop loses the next N posted MMIO cache-line writes at/after At.
+	MMIODrop
+	// MMIOTorn tears the next N posted MMIO cache-line writes at/after At:
+	// only the first half of the payload reaches the SSD.
+	MMIOTorn
+	// BatteryDrain limits the SSD-Cache battery to N surviving dirty pages
+	// for crashes at/after At.
+	BatteryDrain
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	Crash:        "crash",
+	ProgramFail:  "program-fail",
+	EraseFail:    "erase-fail",
+	MMIODrop:     "mmio-drop",
+	MMIOTorn:     "mmio-torn",
+	BatteryDrain: "battery-drain",
+}
+
+// String returns the kind's plan-file keyword.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Fault is one scheduled fault.
+type Fault struct {
+	Kind Kind
+	At   sim.Time // armed at/after this virtual time
+	N    int      // count (ProgramFail/EraseFail/MMIODrop/MMIOTorn), budget (BatteryDrain), 1 (Crash)
+}
+
+// Plan is an ordered set of scheduled faults.
+type Plan []Fault
+
+// Validate checks every fault for a known kind and sane parameters.
+func (p Plan) Validate() error {
+	for i, f := range p {
+		if f.Kind >= numKinds {
+			return fmt.Errorf("fault: entry %d: unknown kind %d", i, f.Kind)
+		}
+		if f.At < 0 {
+			return fmt.Errorf("fault: entry %d: negative time %d", i, int64(f.At))
+		}
+		switch f.Kind {
+		case Crash:
+			if f.N != 1 {
+				return fmt.Errorf("fault: entry %d: crash count must be 1", i)
+			}
+		case BatteryDrain:
+			if f.N < 0 {
+				return fmt.Errorf("fault: entry %d: negative battery budget", i)
+			}
+		default:
+			if f.N < 1 {
+				return fmt.Errorf("fault: entry %d: count %d < 1", i, f.N)
+			}
+		}
+	}
+	return nil
+}
+
+// WriteTo encodes the plan in the line format (times in plain nanoseconds),
+// such that ParsePlan(p.WriteTo(...)) round-trips exactly.
+func (p Plan) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	for _, f := range p {
+		var (
+			k   int
+			err error
+		)
+		if f.Kind == Crash {
+			k, err = fmt.Fprintf(bw, "%s %d\n", f.Kind, int64(f.At))
+		} else {
+			k, err = fmt.Fprintf(bw, "%s %d %d\n", f.Kind, int64(f.At), f.N)
+		}
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ParsePlan decodes a plan from the line format.
+func ParsePlan(r io.Reader) (Plan, error) {
+	var p Plan
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		s := sc.Text()
+		if i := strings.IndexByte(s, '#'); i >= 0 {
+			s = s[:i]
+		}
+		fields := strings.Fields(s)
+		if len(fields) == 0 {
+			continue
+		}
+		kind, ok := kindOf(fields[0])
+		if !ok {
+			return nil, fmt.Errorf("fault: line %d: unknown fault %q", line, fields[0])
+		}
+		want := 3
+		if kind == Crash {
+			want = 2
+		}
+		if len(fields) != want {
+			return nil, fmt.Errorf("fault: line %d: %s takes %d fields, got %d", line, kind, want, len(fields))
+		}
+		at, err := parseTime(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("fault: line %d: %v", line, err)
+		}
+		f := Fault{Kind: kind, At: at, N: 1}
+		if kind != Crash {
+			n, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("fault: line %d: bad count %q", line, fields[2])
+			}
+			f.N = n
+		}
+		p = append(p, f)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func kindOf(s string) (Kind, bool) {
+	for k, name := range kindNames {
+		if s == name {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}
+
+// parseTime parses a virtual time: an integer with optional ns/us/ms/s
+// suffix (default ns).
+func parseTime(s string) (sim.Time, error) {
+	mult := sim.Nanosecond
+	switch {
+	case strings.HasSuffix(s, "ns"):
+		s = strings.TrimSuffix(s, "ns")
+	case strings.HasSuffix(s, "us"):
+		mult, s = sim.Microsecond, strings.TrimSuffix(s, "us")
+	case strings.HasSuffix(s, "ms"):
+		mult, s = sim.Millisecond, strings.TrimSuffix(s, "ms")
+	case strings.HasSuffix(s, "s"):
+		mult, s = sim.Second, strings.TrimSuffix(s, "s")
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad time %q", s)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative time %q", s)
+	}
+	t := sim.Time(0).Add(sim.Duration(n) * mult)
+	if mult != sim.Nanosecond && sim.Duration(t)/mult != sim.Duration(n) {
+		return 0, fmt.Errorf("time %q overflows", s)
+	}
+	return t, nil
+}
+
+// sortedCrashes extracts the crash times of a plan in ascending order.
+func (p Plan) sortedCrashes() []sim.Time {
+	var out []sim.Time
+	for _, f := range p {
+		if f.Kind == Crash {
+			out = append(out, f.At)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

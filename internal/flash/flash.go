@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 
+	"flatflash/internal/fault"
 	"flatflash/internal/sim"
 )
 
@@ -27,6 +28,8 @@ var (
 	ErrNotErased     = errors.New("flash: program to a page that is not erased")
 	ErrBadPageSize   = errors.New("flash: data length does not match page size")
 	ErrBlockOutRange = errors.New("flash: block index out of range")
+	ErrProgramFailed = errors.New("flash: page program failed")
+	ErrEraseFailed   = errors.New("flash: block erase failed")
 )
 
 // Config describes the device geometry and timing.
@@ -95,7 +98,10 @@ type Device struct {
 	erases []int64 // per-block erase count (wear)
 	chans  []*sim.Resource
 
-	reads, programs int64
+	faults *fault.Engine // nil = no injection
+
+	reads, programs          int64
+	programFails, eraseFails int64
 }
 
 // NewDevice builds a device from cfg; all blocks start erased.
@@ -118,6 +124,9 @@ func NewDevice(cfg Config) (*Device, error) {
 
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
+
+// SetFaults attaches a fault-injection engine (nil disables injection).
+func (d *Device) SetFaults(e *fault.Engine) { d.faults = e }
 
 // BlockOf returns the erase block containing page p.
 func (d *Device) BlockOf(p PageAddr) int { return int(p) / d.cfg.PagesPerBlock }
@@ -169,6 +178,14 @@ func (d *Device) Program(now sim.Time, p PageAddr, data []byte) (sim.Time, error
 		return now, ErrNotErased
 	}
 	_, done := d.channelOf(p).Acquire(now, d.cfg.ProgramLatency)
+	if d.faults.FailProgram(now) {
+		// A failed program leaves the page in an untrustworthy, non-erased
+		// state (data nil reads back as 0xFF). The FTL must retire the block.
+		d.data[p] = nil
+		d.state[p] = pageProgrammed
+		d.programFails++
+		return done, ErrProgramFailed
+	}
 	buf := make([]byte, d.cfg.PageSize)
 	copy(buf, data)
 	d.data[p] = buf
@@ -185,6 +202,12 @@ func (d *Device) Erase(now sim.Time, b int) (sim.Time, error) {
 	}
 	first := PageAddr(b * d.cfg.PagesPerBlock)
 	_, done := d.channelOf(first).Acquire(now, d.cfg.EraseLatency)
+	if d.faults.FailErase(now) {
+		// A failed erase leaves the block contents untouched; the FTL must
+		// retire the block without reclaiming it.
+		d.eraseFails++
+		return done, ErrEraseFailed
+	}
 	for i := 0; i < d.cfg.PagesPerBlock; i++ {
 		p := first + PageAddr(i)
 		d.state[p] = pageErased
@@ -213,6 +236,12 @@ func (d *Device) Wear() (totalErases, maxBlockErases, programs int64) {
 
 // Reads returns the total page reads served.
 func (d *Device) Reads() int64 { return d.reads }
+
+// FaultCounts returns how many injected program and erase failures the
+// device has surfaced.
+func (d *Device) FaultCounts() (programFails, eraseFails int64) {
+	return d.programFails, d.eraseFails
+}
 
 // BlockErases returns the erase count of block b (0 for out-of-range).
 func (d *Device) BlockErases(b int) int64 {

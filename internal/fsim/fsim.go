@@ -371,6 +371,24 @@ func (fs *FS) InodeAllocated(ino int64) (bool, error) {
 // Ops returns the number of committed metadata transactions.
 func (fs *FS) Ops() int64 { return fs.ops }
 
+// JournalSlots returns how many byte-backend commits the journal holds
+// before the header slots wrap (crash harnesses keep runs below this so
+// every committed header stays inspectable).
+func JournalSlots() int64 { return journalPages }
+
+// JournalHeader reads back the log-record header written for the op'th
+// commit (1-based) on the byte backend. A committed op must read back
+// exactly its op number; anything else means the 8-byte header write tore.
+// Valid only while fewer than JournalSlots commits have happened.
+func (fs *FS) JournalHeader(op int64) (uint64, error) {
+	hdrOff := ((op - 1) % journalPages) * PageSize
+	var b [8]byte
+	if _, err := fs.h.Read(fs.journal.Base+uint64(hdrOff), b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
 // ByteCommitCost exposes the byte-backend commit size model (for tests).
 func ByteCommitCost(k FSKind, nSpans, spanBytes int) int {
 	spans := make([]span, nSpans)

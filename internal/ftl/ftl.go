@@ -88,6 +88,7 @@ type RemapStats struct {
 	BatchInterrupts int64 // one per GC pass that relocated pages
 	GCRuns          int64
 	ErasedBlocks    int64
+	BadBlocks       int64 // blocks retired after program/erase failures
 }
 
 // FTL is a page-mapped flash translation layer.
@@ -99,8 +100,9 @@ type FTL struct {
 	p2l        []int32          // physical -> logical, noLogical if none
 	validCount []int            // valid pages per block
 	freeBlocks []int
-	active     int // active block, -1 if none
-	activeNext int // next page slot within active block
+	bad        []bool // retired blocks: never programmed, erased, or GC'd again
+	active     int    // active block, -1 if none
+	activeNext int    // next page slot within active block
 
 	dirtySrc DirtySource
 	inGC     bool
@@ -126,6 +128,7 @@ func New(cfg Config) (*FTL, error) {
 		l2p:        make([]flash.PageAddr, cfg.LogicalPages()),
 		p2l:        make([]int32, cfg.Flash.TotalPages()),
 		validCount: make([]int, cfg.Flash.Blocks),
+		bad:        make([]bool, cfg.Flash.Blocks),
 		active:     -1,
 	}
 	for i := range f.l2p {
@@ -223,15 +226,10 @@ func (f *FTL) WritePage(now sim.Time, lpn uint32, data []byte) (sim.Time, error)
 			return now, err
 		}
 	}
-	p, err := f.allocSlot()
+	p, done, err := f.programAt(now, data)
 	if err != nil {
 		return now, err
 	}
-	done, err := f.dev.Program(now, p, data)
-	if err != nil {
-		return now, err
-	}
-	f.flashWrites++
 	f.invalidate(lpn)
 	f.l2p[lpn] = p
 	f.p2l[p] = int32(lpn)
@@ -240,6 +238,42 @@ func (f *FTL) WritePage(now sim.Time, lpn uint32, data []byte) (sim.Time, error)
 		f.probe.Span(telemetry.SpanFlashWrite, telemetry.TrackFlash, now, done, int64(lpn))
 	}
 	return done, nil
+}
+
+// programAt allocates a slot and programs data into it. An injected program
+// failure retires the slot's block (bad-block remapping) and the write
+// retries in a fresh block; the failed attempt's latency is still paid.
+func (f *FTL) programAt(now sim.Time, data []byte) (flash.PageAddr, sim.Time, error) {
+	for {
+		p, err := f.allocSlot()
+		if err != nil {
+			return flash.InvalidPage, now, err
+		}
+		done, err := f.dev.Program(now, p, data)
+		if err == nil {
+			f.flashWrites++
+			return p, done, nil
+		}
+		if !errors.Is(err, flash.ErrProgramFailed) {
+			return flash.InvalidPage, now, err
+		}
+		f.markBad(f.dev.BlockOf(p))
+		now = done
+	}
+}
+
+// markBad retires block b: it is abandoned as the active block, never
+// rejoins the free pool, and GC skips it. Pages already valid in it remain
+// readable.
+func (f *FTL) markBad(b int) {
+	if f.bad[b] {
+		return
+	}
+	f.bad[b] = true
+	f.remap.BadBlocks++
+	if b == f.active {
+		f.active = -1
+	}
 }
 
 // Trim discards logical page lpn: subsequent reads return zeros and the old
@@ -326,7 +360,7 @@ func (f *FTL) pickVictim() int {
 	best := -1
 	bestCost := int64(1) << 62
 	for b := 0; b < f.cfg.Flash.Blocks; b++ {
-		if b == f.active || free[b] {
+		if b == f.active || free[b] || f.bad[b] {
 			continue
 		}
 		if f.validCount[b] >= f.cfg.Flash.PagesPerBlock {
@@ -383,12 +417,19 @@ func (f *FTL) collect(now sim.Time, victim int) (sim.Time, error) {
 		moved++
 	}
 	done, err := f.dev.Erase(now, victim)
-	if err != nil {
+	switch {
+	case errors.Is(err, flash.ErrEraseFailed):
+		// Bad-block remap: the victim is retired without rejoining the free
+		// pool. Its valid pages were already relocated, so nothing is lost;
+		// maybeGC simply picks another victim.
+		f.markBad(victim)
+	case err != nil:
 		return now, err
+	default:
+		f.freeBlocks = append(f.freeBlocks, victim)
+		f.remap.ErasedBlocks++
 	}
-	f.freeBlocks = append(f.freeBlocks, victim)
 	f.remap.GCRuns++
-	f.remap.ErasedBlocks++
 	f.remap.Relocations += moved
 	if moved > 0 {
 		// Lazy propagation of the new mappings to PTEs/TLBs happens in one
@@ -402,15 +443,10 @@ func (f *FTL) collect(now sim.Time, victim int) (sim.Time, error) {
 }
 
 func (f *FTL) writeRelocated(now sim.Time, lpn uint32, data []byte) (sim.Time, error) {
-	p, err := f.allocSlot()
+	p, done, err := f.programAt(now, data)
 	if err != nil {
 		return now, err
 	}
-	done, err := f.dev.Program(now, p, data)
-	if err != nil {
-		return now, err
-	}
-	f.flashWrites++
 	f.invalidate(lpn)
 	f.l2p[lpn] = p
 	f.p2l[p] = int32(lpn)
@@ -432,3 +468,68 @@ func (f *FTL) Writes() (host, flashProgs int64) { return f.hostWrites, f.flashWr
 
 // Remap returns GC relocation statistics.
 func (f *FTL) Remap() RemapStats { return f.remap }
+
+// RebuildL2P reconstructs the logical-to-physical map and the per-block
+// valid counts from the per-page metadata (modeling the OOB logical-address
+// scan a real FTL runs after power loss, since the page's logical address is
+// programmed with its data and survives the crash). It returns the number of
+// live mappings recovered.
+func (f *FTL) RebuildL2P() int {
+	for i := range f.l2p {
+		f.l2p[i] = flash.InvalidPage
+	}
+	for i := range f.validCount {
+		f.validCount[i] = 0
+	}
+	n := 0
+	for p, lpn := range f.p2l {
+		if lpn == noLogical {
+			continue
+		}
+		f.l2p[lpn] = flash.PageAddr(p)
+		f.validCount[f.dev.BlockOf(flash.PageAddr(p))]++
+		n++
+	}
+	return n
+}
+
+// CheckConsistency verifies the FTL's internal invariants: l2p and p2l are
+// mutual inverses, per-block valid counts match the mapping, and free blocks
+// hold no valid pages and are not retired.
+func (f *FTL) CheckConsistency() error {
+	valid := make([]int, len(f.validCount))
+	for p, lpn := range f.p2l {
+		if lpn == noLogical {
+			continue
+		}
+		if int(lpn) >= len(f.l2p) {
+			return fmt.Errorf("ftl: p2l[%d] = %d out of logical range", p, lpn)
+		}
+		if f.l2p[lpn] != flash.PageAddr(p) {
+			return fmt.Errorf("ftl: p2l[%d] = %d but l2p[%d] = %d", p, lpn, lpn, f.l2p[lpn])
+		}
+		valid[f.dev.BlockOf(flash.PageAddr(p))]++
+	}
+	for lpn, p := range f.l2p {
+		if p == flash.InvalidPage {
+			continue
+		}
+		if int(p) >= len(f.p2l) || f.p2l[p] != int32(lpn) {
+			return fmt.Errorf("ftl: l2p[%d] = %d not mirrored in p2l", lpn, p)
+		}
+	}
+	for b := range valid {
+		if valid[b] != f.validCount[b] {
+			return fmt.Errorf("ftl: block %d valid count %d, mapping says %d", b, f.validCount[b], valid[b])
+		}
+	}
+	for _, b := range f.freeBlocks {
+		if f.bad[b] {
+			return fmt.Errorf("ftl: retired block %d in free pool", b)
+		}
+		if valid[b] != 0 {
+			return fmt.Errorf("ftl: free block %d holds %d valid pages", b, valid[b])
+		}
+	}
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 
+	"flatflash/internal/fault"
 	"flatflash/internal/sim"
 	"flatflash/internal/telemetry"
 )
@@ -55,11 +56,13 @@ func (c Config) Validate() error {
 
 // Link is one PCIe link.
 type Link struct {
-	cfg   Config
-	res   *sim.Resource
-	probe telemetry.Probe // nil when telemetry is disabled
+	cfg    Config
+	res    *sim.Resource
+	probe  telemetry.Probe // nil when telemetry is disabled
+	faults *fault.Engine   // nil = no injection
 
 	mmioReads, mmioWrites, dmaPages, persistTagged int64
+	mmioDropped, mmioTorn                          int64
 }
 
 // NewLink builds a link.
@@ -77,6 +80,10 @@ func (l *Link) Config() Config { return l.cfg }
 // transaction (issue time to completion, on the PCIe track). A nil probe
 // disables emission.
 func (l *Link) SetProbe(p telemetry.Probe) { l.probe = p }
+
+// SetFaults attaches a fault-injection engine that can drop or tear posted
+// MMIO writes (nil disables injection).
+func (l *Link) SetFaults(e *fault.Engine) { l.faults = e }
 
 // MMIORead performs a non-posted cache-line read issued at now; the
 // returned time is when the completion arrives back at the host.
@@ -99,16 +106,33 @@ func (l *Link) MMIORead(now sim.Time, persist bool) sim.Time {
 // transaction's completion point, §5: "the latency of the write transaction
 // is significantly lower than that of the read transaction").
 func (l *Link) MMIOWrite(now sim.Time, persist bool) sim.Time {
+	done, _ := l.MMIOWriteChecked(now, persist)
+	return done
+}
+
+// MMIOWriteChecked is MMIOWrite plus the fault outcome of the posted packet:
+// with a fault engine attached, the write may be dropped (never reaches the
+// SSD) or torn (only the first half of the payload lands). Posted writes are
+// fire-and-forget, so the host-side timing is identical either way — only
+// the SSD-side effect differs, and the caller applies it.
+func (l *Link) MMIOWriteChecked(now sim.Time, persist bool) (sim.Time, fault.WriteOutcome) {
 	start, _ := l.res.Acquire(now, l.cfg.CacheLineOccupancy)
 	l.mmioWrites++
 	if persist {
 		l.persistTagged++
 	}
+	outcome := l.faults.MMIOWrite(now)
+	switch outcome {
+	case fault.WriteDropped:
+		l.mmioDropped++
+	case fault.WriteTorn:
+		l.mmioTorn++
+	}
 	done := start.Add(l.cfg.MMIOWriteLatency)
 	if l.probe != nil {
 		l.probe.Span(telemetry.SpanMMIOWrite, telemetry.TrackPCIe, now, done, persistArg(persist))
 	}
-	return done
+	return done, outcome
 }
 
 // DMAPage transfers one page across the link (page migration in the
@@ -135,6 +159,12 @@ func persistArg(persist bool) int64 {
 // tagged with the Persist bit.
 func (l *Link) Stats() (mmioReads, mmioWrites, dmaPages, persistTagged int64) {
 	return l.mmioReads, l.mmioWrites, l.dmaPages, l.persistTagged
+}
+
+// FaultStats returns how many posted MMIO writes were dropped or torn by
+// injected faults.
+func (l *Link) FaultStats() (dropped, torn int64) {
+	return l.mmioDropped, l.mmioTorn
 }
 
 // TrafficBytes estimates total bytes moved over the link given the cache

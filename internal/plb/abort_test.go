@@ -1,0 +1,52 @@
+package plb
+
+import (
+	"testing"
+
+	"flatflash/internal/sim"
+)
+
+// A power loss discards in-flight promotions instead of completing them: the
+// PLB lives in the host bridge, outside the persistence domain.
+func TestAbortAllDiscardsFlights(t *testing.T) {
+	p, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := mkPage(7, 256)
+	if err := p.Start(0, 3, 5, src, mkPage(0, 256), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(0, 8, 6, src, mkPage(0, 256), false); err != nil {
+		t.Fatal(err)
+	}
+
+	ab := p.AbortAll()
+	if len(ab) != 2 {
+		t.Fatalf("aborted %d flights, want 2", len(ab))
+	}
+	frames := map[uint32]int{ab[0].LPN: ab[0].Frame, ab[1].LPN: ab[1].Frame}
+	if frames[3] != 5 || frames[8] != 6 {
+		t.Fatalf("aborted (lpn, frame) pairs wrong: %v", ab)
+	}
+	if p.AbortedCount() != 2 {
+		t.Fatalf("AbortedCount = %d, want 2", p.AbortedCount())
+	}
+	if p.InFlight(3) || p.InFlight(8) {
+		t.Fatal("aborted flights still tracked")
+	}
+	if _, completed, _, _ := p.Stats(); completed != 0 {
+		t.Fatalf("aborts counted as completions: %d", completed)
+	}
+	if out := p.Expired(sim.Time(1) << 40); len(out) != 0 {
+		t.Fatalf("Expired finalized %d aborted flights", len(out))
+	}
+
+	// The freed entries are reusable for post-recovery promotions.
+	if err := p.Start(0, 3, 5, src, mkPage(0, 256), false); err != nil {
+		t.Fatalf("restart after abort: %v", err)
+	}
+	if n := p.AbortAll(); len(n) != 1 || p.AbortedCount() != 3 {
+		t.Fatalf("second abort round: %v (count %d)", n, p.AbortedCount())
+	}
+}

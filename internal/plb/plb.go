@@ -101,6 +101,7 @@ type PLB struct {
 
 	started, completed, droppedInbound, redirectedStores int64
 	lookups, routed                                      int64
+	aborted                                              int64
 }
 
 // New builds an empty PLB.
@@ -311,6 +312,35 @@ func (p *PLB) Flush(now sim.Time) []Completion {
 	}
 	return out
 }
+
+// Aborted describes one in-flight promotion discarded by a power loss.
+type Aborted struct {
+	LPN   uint32
+	Frame int
+}
+
+// AbortAll discards every in-flight promotion without completing it: the PLB
+// lives in the host bridge, outside the SSD's persistence domain, so a power
+// loss simply loses the flights. The page's durable home remains the SSD
+// side (the SSD-Cache snapshot or flash), and partially-copied DRAM frames
+// are abandoned. The freed frames are returned so the caller can reclaim
+// them.
+func (p *PLB) AbortAll() []Aborted {
+	var out []Aborted
+	for i := range p.entries {
+		e := &p.entries[i]
+		if !e.valid {
+			continue
+		}
+		out = append(out, Aborted{LPN: e.lpn, Frame: e.frame})
+		*e = entry{}
+		p.aborted++
+	}
+	return out
+}
+
+// AbortedCount returns how many in-flight promotions power losses discarded.
+func (p *PLB) AbortedCount() int64 { return p.aborted }
 
 // Stats returns promotions started/completed, inbound lines dropped in
 // favor of CPU stores, and stores redirected to DRAM during flight.

@@ -1,0 +1,91 @@
+package promote
+
+import "testing"
+
+// A power loss clears Algorithm 1's working state (it lives in controller
+// SRAM) but keeps cumulative run statistics. The table drives the policy into
+// different pre-crash states and asserts the same power-on contract.
+func TestResetRestoresPowerOnState(t *testing.T) {
+	params := DefaultParams()
+	cases := []struct {
+		name  string
+		drive func(t *testing.T, p *Policy)
+	}{
+		{"untouched", func(t *testing.T, p *Policy) {}},
+		{"mid-epoch aggregates", func(t *testing.T, p *Policy) {
+			for i := 1; i <= 5; i++ {
+				p.Update(i)
+			}
+			if p.NetAggCnt() == 0 {
+				t.Fatal("drive built no aggregate state")
+			}
+		}},
+		{"threshold adapted down", func(t *testing.T, p *Policy) {
+			// One page climbing to the threshold yields ratio 1.0 >= HiRatio,
+			// which lowers CurrThreshold below MaxThreshold.
+			for i := 1; i <= params.MaxThreshold; i++ {
+				p.Update(i)
+			}
+			if p.Threshold() >= params.MaxThreshold {
+				t.Fatal("drive failed to lower the threshold")
+			}
+		}},
+		{"across epoch boundary", func(t *testing.T, p *Policy) {
+			for i := int64(0); i < params.ResetEpoch+5; i++ {
+				p.Update(1)
+			}
+			if p.Epochs() == 0 {
+				t.Fatal("drive crossed no epoch boundary")
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := New(params)
+			tc.drive(t, p)
+			promos, epochs := p.Promotions(), p.Epochs()
+
+			p.Reset()
+
+			if got := p.Threshold(); got != params.MaxThreshold {
+				t.Errorf("Threshold = %d after crash, want power-on %d", got, params.MaxThreshold)
+			}
+			if got := p.NetAggCnt(); got != 0 {
+				t.Errorf("NetAggCnt = %d after crash, want 0", got)
+			}
+			if got := p.Promotions(); got != promos {
+				t.Errorf("cumulative Promotions changed across crash: %d -> %d", promos, got)
+			}
+			if got := p.Epochs(); got != epochs {
+				t.Errorf("cumulative Epochs changed across crash: %d -> %d", epochs, got)
+			}
+			// The policy must work from scratch: a fresh page climbing to the
+			// reset threshold still promotes.
+			promoted := false
+			for i := 1; i <= params.MaxThreshold; i++ {
+				promoted = promoted || p.Update(i)
+			}
+			if !promoted {
+				t.Error("policy dead after reset: threshold crossing not promoted")
+			}
+			if got := p.Promotions(); got != promos+1 {
+				t.Errorf("Promotions = %d after post-reset promotion, want %d", got, promos+1)
+			}
+		})
+	}
+}
+
+func TestFixedPolicyResetIsNoOp(t *testing.T) {
+	f := NewFixed(3)
+	f.Update(3)
+	f.Reset()
+	if f.Threshold() != 3 {
+		t.Fatalf("fixed threshold changed to %d on reset", f.Threshold())
+	}
+	if f.Promotions() != 1 {
+		t.Fatalf("Promotions = %d across reset", f.Promotions())
+	}
+	if f.NetAggCnt() != 0 {
+		t.Fatalf("NetAggCnt = %d for fixed policy", f.NetAggCnt())
+	}
+}

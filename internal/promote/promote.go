@@ -69,6 +69,21 @@ func (p *Policy) Promotions() int64 { return p.promotionsTotal }
 // Epochs returns how many ResetEpoch boundaries have passed.
 func (p *Policy) Epochs() int64 { return p.epochs }
 
+// NetAggCnt returns the current NetAggCnt aggregate (for crash tests).
+func (p *Policy) NetAggCnt() int64 { return p.netAggCnt }
+
+// Reset clears the Algorithm 1 working state to its power-on values: the
+// aggregates live in controller SRAM and do not survive power loss, so a
+// crash returns CurrThreshold to MaxThreshold and zeroes the counters.
+// Simulator-side cumulative statistics (Promotions, Epochs) are kept — they
+// describe the whole run, not the controller's volatile state.
+func (p *Policy) Reset() {
+	p.netAggCnt = 0
+	p.accessCnt = 0
+	p.aggPromotedCnt = 0
+	p.currThreshold = p.params.MaxThreshold
+}
+
 // Update is Algorithm 1's UPDATE procedure. It must be called on every
 // memory access to the SSD with the page's access counter *after* the cache
 // incremented it (pageCnt = ++PageCntArray[set][way]). It reports whether
@@ -157,6 +172,12 @@ func (f *FixedPolicy) Threshold() int { return f.threshold }
 // Promotions returns the number of promotions triggered.
 func (f *FixedPolicy) Promotions() int64 { return f.promotions }
 
+// NetAggCnt is always 0: the fixed policy keeps no aggregate.
+func (f *FixedPolicy) NetAggCnt() int64 { return 0 }
+
+// Reset is a no-op: the fixed threshold is configuration, not volatile state.
+func (f *FixedPolicy) Reset() {}
+
 // Promoter is the interface the SSD-Cache manager drives; both the adaptive
 // Policy and the FixedPolicy ablation satisfy it.
 type Promoter interface {
@@ -164,6 +185,11 @@ type Promoter interface {
 	AdjustCnt(pageCnt int)
 	Threshold() int
 	Promotions() int64
+	// NetAggCnt returns the volatile aggregate (0 for policies without one).
+	NetAggCnt() int64
+	// Reset restores the policy's volatile state to power-on values after a
+	// power loss; cumulative run statistics survive.
+	Reset()
 	// SetProbe attaches telemetry (nil-safe; now supplies timestamps).
 	SetProbe(pr telemetry.Probe, now func() sim.Time)
 }

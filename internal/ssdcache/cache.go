@@ -13,6 +13,7 @@ package ssdcache
 
 import (
 	"fmt"
+	"sort"
 
 	"flatflash/internal/sim"
 	"flatflash/internal/telemetry"
@@ -282,6 +283,36 @@ func (c *Cache) DirtyPages() []uint32 {
 		}
 	}
 	return out
+}
+
+// DropDirtyBeyond models a drained battery at power loss: only the first
+// keep dirty pages in ascending-LPN order (the deterministic flush order of
+// the firmware's power-loss handler) survive; the rest are invalidated as if
+// they never reached the persistence domain. It returns how many dirty pages
+// were lost.
+func (c *Cache) DropDirtyBeyond(keep int) int {
+	dirty := c.DirtyPages()
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+	if keep < 0 {
+		keep = 0
+	}
+	if keep >= len(dirty) {
+		return 0
+	}
+	for _, lpn := range dirty[keep:] {
+		c.Remove(lpn)
+	}
+	return len(dirty) - keep
+}
+
+// ResetPageCnts clears every entry's Algorithm 1 access counter (the
+// counters live in controller SRAM and do not survive power loss).
+func (c *Cache) ResetPageCnts() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i].PageCnt = 0
+		}
+	}
 }
 
 // Stats returns hits, misses, evictions and dirty evictions.

@@ -1,0 +1,64 @@
+package ssdcache
+
+import (
+	"sort"
+	"testing"
+)
+
+// DropDirtyBeyond models the drained-battery power-loss handler: the firmware
+// flushes dirty pages in ascending-LPN order and the battery dies after keep
+// of them.
+func TestDropDirtyBeyond(t *testing.T) {
+	c, err := New(Config{Pages: 16, Ways: 4, PageSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 64)
+	for _, lpn := range []uint32{9, 1, 5, 3} {
+		c.Insert(lpn, data, true)
+	}
+	c.Insert(7, data, false) // clean: already on flash, battery irrelevant
+
+	if lost := c.DropDirtyBeyond(2); lost != 2 {
+		t.Fatalf("lost %d pages, want 2", lost)
+	}
+	left := c.DirtyPages()
+	sort.Slice(left, func(i, j int) bool { return left[i] < left[j] })
+	if len(left) != 2 || left[0] != 1 || left[1] != 3 {
+		t.Fatalf("surviving dirty pages = %v, want [1 3] (ascending flush order)", left)
+	}
+	if c.Contains(5) || c.Contains(9) {
+		t.Fatal("dropped pages still cached")
+	}
+	if !c.Contains(7) {
+		t.Fatal("clean page evicted by battery drain")
+	}
+
+	if lost := c.DropDirtyBeyond(0); lost != 2 {
+		t.Fatalf("keep=0 lost %d, want 2", lost)
+	}
+	if lost := c.DropDirtyBeyond(-1); lost != 0 {
+		t.Fatalf("negative keep on empty dirty set lost %d", lost)
+	}
+	if lost := c.DropDirtyBeyond(100); lost != 0 {
+		t.Fatalf("generous keep lost %d", lost)
+	}
+}
+
+func TestResetPageCnts(t *testing.T) {
+	c, err := New(Config{Pages: 16, Ways: 4, PageSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 64)
+	e, _, _ := c.Insert(1, data, false)
+	c.Touch(e)
+	c.Touch(e)
+	if e.PageCnt != 2 {
+		t.Fatalf("PageCnt = %d after two touches", e.PageCnt)
+	}
+	c.ResetPageCnts()
+	if e.PageCnt != 0 {
+		t.Fatalf("PageCnt = %d after reset (SRAM counters must not survive power loss)", e.PageCnt)
+	}
+}

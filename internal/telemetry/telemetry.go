@@ -88,6 +88,18 @@ const (
 	EvThreshold
 	// EvEpochReset marks an Algorithm 1 adaptation-epoch reset.
 	EvEpochReset
+	// EvFaultCrash marks an injected power-loss firing. Arg is the scheduled
+	// virtual time in nanoseconds.
+	EvFaultCrash
+	// EvFaultNAND marks an injected NAND program (arg 0) or erase (arg 1)
+	// failure.
+	EvFaultNAND
+	// EvFaultMMIO marks an injected dropped (arg 0) or torn (arg 1) MMIO
+	// cache-line write.
+	EvFaultMMIO
+	// EvFaultBattery marks a battery-drain truncation at crash time. Arg is
+	// the number of dirty pages that survived.
+	EvFaultBattery
 
 	numKinds
 )
@@ -117,6 +129,10 @@ var kindNames = [numKinds]string{
 	EvPromoteComplete:  "promote_complete",
 	EvThreshold:        "threshold",
 	EvEpochReset:       "epoch_reset",
+	EvFaultCrash:       "fault_crash",
+	EvFaultNAND:        "fault_nand",
+	EvFaultMMIO:        "fault_mmio",
+	EvFaultBattery:     "fault_battery",
 }
 
 // String returns the kind's export name.

@@ -13,6 +13,7 @@ package trace
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 
@@ -158,12 +159,26 @@ type Result struct {
 // per-operation latency. Persist ops on non-persistent regions fall back to
 // SyncPages via the hierarchy's own semantics.
 func Replay(h core.Hierarchy, region core.Region, t Trace) (Result, error) {
+	res, _, err := replay(h, region, t, false)
+	return res, err
+}
+
+// ReplayCrashAware is Replay under fault injection: when a scheduled power
+// loss interrupts an operation it recovers the hierarchy, retries the
+// interrupted operation, and continues. Returns how many crashes the replay
+// survived alongside the result.
+func ReplayCrashAware(h core.Hierarchy, region core.Region, t Trace) (Result, int, error) {
+	return replay(h, region, t, true)
+}
+
+func replay(h core.Hierarchy, region core.Region, t Trace, rideThrough bool) (Result, int, error) {
 	hist := stats.NewHistogram()
 	buf := make([]byte, 4096)
+	crashes := 0
 	start := h.Now()
 	for i, op := range t {
 		if op.Addr+uint64(op.Size) > region.Size {
-			return Result{}, fmt.Errorf("trace: op %d outside region", i)
+			return Result{}, crashes, fmt.Errorf("trace: op %d outside region", i)
 		}
 		if op.Size > len(buf) {
 			buf = make([]byte, op.Size)
@@ -172,18 +187,28 @@ func Replay(h core.Hierarchy, region core.Region, t Trace) (Result, error) {
 			lat sim.Duration
 			err error
 		)
-		switch op.Kind {
-		case Read:
-			lat, err = h.Read(region.Base+op.Addr, buf[:op.Size])
-		case Write:
-			lat, err = h.Write(region.Base+op.Addr, buf[:op.Size])
-		case Persist:
-			lat, err = h.Persist(region.Base+op.Addr, op.Size)
+		for {
+			switch op.Kind {
+			case Read:
+				lat, err = h.Read(region.Base+op.Addr, buf[:op.Size])
+			case Write:
+				lat, err = h.Write(region.Base+op.Addr, buf[:op.Size])
+			case Persist:
+				lat, err = h.Persist(region.Base+op.Addr, op.Size)
+			}
+			if rideThrough && errors.Is(err, core.ErrCrashed) {
+				// The engine consumes each scheduled crash once, so the retry
+				// loop terminates when the plan runs out.
+				h.Recover()
+				crashes++
+				continue
+			}
+			break
 		}
 		if err != nil {
-			return Result{}, fmt.Errorf("trace: op %d: %w", i, err)
+			return Result{}, crashes, fmt.Errorf("trace: op %d: %w", i, err)
 		}
 		hist.Record(lat)
 	}
-	return Result{Hist: hist, Elapsed: h.Now().Sub(start), Ops: len(t)}, nil
+	return Result{Hist: hist, Elapsed: h.Now().Sub(start), Ops: len(t)}, crashes, nil
 }

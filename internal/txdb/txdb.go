@@ -433,3 +433,62 @@ func Run(h core.Hierarchy, cfg Config) (Result, error) {
 func (db *DB) LogCosts() (latency, service sim.Duration) {
 	return db.logLatency, db.logService
 }
+
+// Stepper drives the workload one transaction at a time, for harnesses that
+// interleave their own events (crash points, fault windows) with the
+// transaction stream. It replicates Run's initialization — identical
+// per-worker RNG seeding and Zipf key streams — so a Stepper run is
+// step-for-step deterministic against Run with the same Config.
+type Stepper struct {
+	db     *DB
+	clocks []sim.Time
+	rngs   []*sim.RNG
+	gens   []*workload.Zipf
+	seqs   []int
+}
+
+// NewStepper opens the database on h and prepares per-worker state.
+func NewStepper(h core.Hierarchy, cfg Config) (*Stepper, error) {
+	db, err := Open(h, cfg)
+	if err != nil {
+		return nil, err
+	}
+	theta := cfg.Theta
+	if theta == 0 {
+		theta = 0.99
+	}
+	st := &Stepper{
+		db:     db,
+		clocks: make([]sim.Time, cfg.Threads),
+		rngs:   make([]*sim.RNG, cfg.Threads),
+		gens:   make([]*workload.Zipf, cfg.Threads),
+		seqs:   make([]int, cfg.Threads),
+	}
+	for w := 0; w < cfg.Threads; w++ {
+		st.rngs[w] = sim.NewRNG(cfg.Seed + uint64(w)*7919)
+		st.gens[w] = workload.NewZipf(st.rngs[w], db.records, theta)
+	}
+	return st, nil
+}
+
+// DB returns the underlying database (for RecoverCommitted after a crash).
+func (st *Stepper) DB() *DB { return st.db }
+
+// Step executes worker w's next transaction. The error is the hierarchy's
+// (core.ErrCrashed once a scheduled power loss fires mid-transaction).
+func (st *Stepper) Step(w int) error {
+	now, err := st.db.runTx(st.clocks[w], st.rngs[w], st.gens[w], w, st.seqs[w])
+	st.clocks[w] = now
+	if err != nil {
+		return err
+	}
+	st.seqs[w]++
+	return nil
+}
+
+// CommittedSeq returns the highest sequence number worker w has durably
+// committed (logSeqs starts at 1, so committed = next - 1). A transaction
+// interrupted by a crash before its log append completed is not counted —
+// though its record bytes may still have reached the persistence domain, so
+// recovery may legitimately find committed+1.
+func (st *Stepper) CommittedSeq(w int) uint64 { return st.db.logSeqs[w] - 1 }

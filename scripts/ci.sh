@@ -20,4 +20,23 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== fuzz smoke =="
+# Short seeded-corpus-plus-mutation runs; a regression in the parsers shows
+# up here long before anyone runs the fuzzers by hand.
+go test -fuzz=FuzzParse -fuzztime=3s -run=^$ ./internal/trace
+go test -fuzz=FuzzFaultPlan -fuzztime=3s -run=^$ ./internal/fault
+
+echo "== fault coverage floor =="
+cover=$(go test -cover ./internal/fault | awk '{for (i=1;i<=NF;i++) if ($i=="coverage:") {sub(/%$/,"",$(i+1)); print $(i+1)}}')
+if [ -z "$cover" ]; then
+    echo "could not read coverage for internal/fault"
+    exit 1
+fi
+floor=80
+if [ "$(printf '%s\n' "$cover" | awk -v f=$floor '{print ($1 < f) ? 1 : 0}')" = "1" ]; then
+    echo "internal/fault coverage ${cover}% below ${floor}% floor"
+    exit 1
+fi
+echo "internal/fault coverage ${cover}% (floor ${floor}%)"
+
 echo "ci: all green"
