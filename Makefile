@@ -25,7 +25,7 @@ race:
 	go test -race ./...
 
 bench:
-	go test -bench=. -benchmem -run=^$$ ./...
+	./scripts/bench.sh BENCH_3.json
 
 fuzz:
 	go test -fuzz=FuzzParse -fuzztime=10s -run=^$$ ./internal/trace

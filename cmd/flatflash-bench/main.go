@@ -6,11 +6,14 @@
 //	flatflash-bench [-quick] [experiment ...]
 //	flatflash-bench -list
 //	flatflash-bench crashsweep [-points N] [-seed S] [-workloads fsim,txdb]
+//	flatflash-bench consolidate [-tenants 1,2,4] [-mixes zipf+scan] [-seeds 1] [-workers N]
 //
 // With no experiment arguments it runs everything in paper order. Use
 // -quick for a fast pass with reduced sizes (same shapes, more noise).
 // The crashsweep subcommand runs the crash-consistency harness and exits
-// non-zero if any recovery invariant is violated.
+// non-zero if any recovery invariant is violated. The consolidate
+// subcommand sweeps multi-tenant consolidation runs and reports per-tenant
+// slowdown and fairness.
 package main
 
 import (
@@ -23,17 +26,42 @@ import (
 	"flatflash/internal/crashsweep"
 	"flatflash/internal/experiments"
 	"flatflash/internal/fault"
+	"flatflash/internal/mtsim"
 	"flatflash/internal/sim"
 	"flatflash/internal/telemetry"
 )
 
+// subcommands maps each subcommand to its one-line summary, shown by -list,
+// by top-level usage, and when a subcommand gets bad arguments.
+var subcommands = []struct{ name, summary string }{
+	{"crashsweep", "seeded crash-consistency sweep; exits non-zero on recovery violations"},
+	{"consolidate", "multi-tenant consolidation sweep: per-tenant slowdown, fairness, DRAM budgets"},
+}
+
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), "usage: flatflash-bench [flags] [experiment ...]\n")
+	fmt.Fprintf(flag.CommandLine.Output(), "       flatflash-bench <subcommand> [flags]\n\nsubcommands:\n")
+	for _, sc := range subcommands {
+		fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", sc.name, sc.summary)
+	}
+	fmt.Fprintf(flag.CommandLine.Output(), "\nflags:\n")
+	flag.PrintDefaults()
+}
+
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "crashsweep" {
-		runCrashsweep(os.Args[2:])
-		return
+	flag.Usage = usage
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "crashsweep":
+			runCrashsweep(os.Args[2:])
+			return
+		case "consolidate":
+			runConsolidate(os.Args[2:])
+			return
+		}
 	}
 	quick := flag.Bool("quick", false, "run with reduced sizes (faster, noisier)")
-	list := flag.Bool("list", false, "list available experiments and exit")
+	list := flag.Bool("list", false, "list available experiments and subcommands, then exit")
 	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON file covering all runs")
 	metricsOut := flag.String("metrics-out", "", "write epoch-sampled metrics as JSON Lines")
 	metricsEp := flag.Duration("metrics-epoch", time.Millisecond, "virtual-time metrics sampling epoch")
@@ -42,6 +70,10 @@ func main() {
 	if *list {
 		for _, d := range experiments.Describe() {
 			fmt.Println(d)
+		}
+		fmt.Println()
+		for _, sc := range subcommands {
+			fmt.Printf("%-8s subcommand: %s\n", sc.name, sc.summary)
 		}
 		return
 	}
@@ -106,10 +138,93 @@ func check(err error) {
 	}
 }
 
+// subUsage prints the subcommand's one-line summary above its flag defaults,
+// so bad arguments surface what the subcommand is for, not just its flags.
+func subUsage(fs *flag.FlagSet, name string) {
+	fs.Usage = func() {
+		for _, sc := range subcommands {
+			if sc.name == name {
+				fmt.Fprintf(fs.Output(), "usage: flatflash-bench %s [flags]\n%s\n\nflags:\n", name, sc.summary)
+			}
+		}
+		fs.PrintDefaults()
+	}
+}
+
+// runConsolidate executes the multi-tenant consolidation sweep: for each
+// (tenant count, mix spec, seed) grid point, every tenant is measured solo on
+// a private device and then consolidated on the shared one. The report is
+// byte-identical for a fixed grid and seed set, whatever -workers is.
+func runConsolidate(args []string) {
+	fs := flag.NewFlagSet("consolidate", flag.ExitOnError)
+	var (
+		tenants = fs.String("tenants", "1,2,4", "comma-separated tenant counts")
+		mixes   = fs.String("mixes", "zipf+uniform+ycsb-b+txlog", "comma-separated mix specs; '+' cycles mixes across a point's tenants")
+		seeds   = fs.String("seeds", "1", "comma-separated sweep seeds (same grid+seeds => byte-identical report)")
+		ops     = fs.Int("ops", 500, "operations per tenant")
+		region  = fs.Uint64("region", 256<<10, "mapped region bytes per tenant")
+		think   = fs.Duration("think", time.Microsecond, "virtual think time between a tenant's operations")
+		workers = fs.Int("workers", 4, "parallel workers across grid points")
+		noArb   = fs.Bool("no-arbiter", false, "disable the DRAM-budget arbiter (unmanaged frame contention)")
+	)
+	subUsage(fs, "consolidate")
+	check(fs.Parse(args))
+	if fs.NArg() > 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	cfg := mtsim.SweepConfig{
+		TenantCounts:   parseInts(fs, *tenants),
+		MixSpecs:       strings.Split(*mixes, ","),
+		Seeds:          parseUints(fs, *seeds),
+		Ops:            *ops,
+		RegionBytes:    *region,
+		Think:          sim.Duration(think.Nanoseconds()),
+		Workers:        *workers,
+		DisableArbiter: *noArb,
+	}
+	res, err := mtsim.Sweep(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flatflash-bench:", err)
+		fs.Usage()
+		os.Exit(2)
+	}
+	check(res.Write(os.Stdout))
+}
+
+func parseInts(fs *flag.FlagSet, csv string) []int {
+	var out []int
+	for _, s := range strings.Split(csv, ",") {
+		var v int
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &v); err != nil {
+			fmt.Fprintf(os.Stderr, "flatflash-bench: bad integer %q\n", s)
+			fs.Usage()
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseUints(fs *flag.FlagSet, csv string) []uint64 {
+	var out []uint64
+	for _, s := range strings.Split(csv, ",") {
+		var v uint64
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &v); err != nil {
+			fmt.Fprintf(os.Stderr, "flatflash-bench: bad seed %q\n", s)
+			fs.Usage()
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
 // runCrashsweep executes the crash-consistency sweep harness. The defaults
 // (60 points x fsim + txdb) give 120 seeded crash points per invocation.
 func runCrashsweep(args []string) {
 	fs := flag.NewFlagSet("crashsweep", flag.ExitOnError)
+	subUsage(fs, "crashsweep")
 	var (
 		points    = fs.Int("points", 60, "crash points per workload")
 		seed      = fs.Uint64("seed", 1, "sweep seed (same seed => byte-identical report)")

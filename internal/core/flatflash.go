@@ -25,7 +25,6 @@ type FlatFlash struct {
 	cfg   Config
 	clock *sim.Clock
 
-	as   *vm.AddressSpace
 	dram *dram.DRAM
 	ftl  *ftl.FTL
 	cach *ssdcache.Cache
@@ -33,10 +32,17 @@ type FlatFlash struct {
 	link *pcie.Link
 	plb  *plb.PLB
 
+	// self is the hierarchy's own actor (tenant 0): it shares the device
+	// clock, so the Hierarchy interface and a 1-tenant consolidation run are
+	// the same execution. tenants[0] == self; OpenTenant appends more.
+	self    *Tenant
+	tenants []*Tenant
+	arb     *promote.Arbiter // nil = unpartitioned promotion
+
 	nextLPN   uint32
-	vpnOfLPN  map[uint32]uint64 // SSD page -> virtual page (1:1 at mmap)
-	vpnOfFrm  map[int]uint64    // DRAM frame -> virtual page
-	hostCache *hostLineCache    // nil unless cfg.HostCacheLines > 0 (§3.1)
+	vpnOfLPN  map[uint32]pageRef // SSD page -> owning (tenant, vpn)
+	vpnOfFrm  map[int]pageRef    // DRAM frame -> owning (tenant, vpn)
+	hostCache *hostLineCache     // nil unless cfg.HostCacheLines > 0 (§3.1)
 	scratch   []byte
 	crashed   bool
 
@@ -108,22 +114,24 @@ func NewFlatFlash(cfg Config) (*FlatFlash, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown promotion mode %d", cfg.Promotion)
 	}
-	return &FlatFlash{
+	s := &FlatFlash{
 		cfg:       cfg,
 		clock:     sim.NewClock(),
-		as:        as,
 		dram:      d,
 		ftl:       f,
 		cach:      cach,
 		pol:       pol,
 		link:      link,
 		plb:       pl,
-		vpnOfLPN:  make(map[uint32]uint64),
-		vpnOfFrm:  make(map[int]uint64),
+		vpnOfLPN:  make(map[uint32]pageRef),
+		vpnOfFrm:  make(map[int]pageRef),
 		hostCache: newHostLineCache(cfg.HostCacheLines, cfg.CacheLineSize),
 		scratch:   make([]byte, cfg.PageSize),
 		c:         stats.NewCounters(),
-	}, nil
+	}
+	s.self = &Tenant{s: s, id: 0, as: as, clock: s.clock, track: telemetry.TrackCPU}
+	s.tenants = []*Tenant{s.self}
+	return s, nil
 }
 
 // Name implements Hierarchy.
@@ -148,11 +156,12 @@ func (s *FlatFlash) SetFaults(e *fault.Engine) {
 // bugs; production code must never enable it.
 func (s *FlatFlash) BreakRecoveryForTesting(on bool) { s.brokenRecovery = on }
 
-// checkCrash fires a scheduled power loss if one is due: the hierarchy
-// crashes mid-operation, at cache-line granularity — the atomicity unit of
-// posted MMIO writes — rather than only between ops.
-func (s *FlatFlash) checkCrash() error {
-	if !s.faults.CrashDue(s.clock.Now()) {
+// checkCrash fires a scheduled power loss if one is due at now (the acting
+// tenant's time): the hierarchy crashes mid-operation, at cache-line
+// granularity — the atomicity unit of posted MMIO writes — rather than only
+// between ops.
+func (s *FlatFlash) checkCrash(now sim.Time) error {
+	if !s.faults.CrashDue(now) {
 		return nil
 	}
 	s.Crash()
@@ -197,10 +206,10 @@ func (s *FlatFlash) Instrument(probe telemetry.Probe, reg *telemetry.Registry) {
 // Advance implements Hierarchy.
 func (s *FlatFlash) Advance(d sim.Duration) {
 	s.clock.Advance(d)
-	s.completePromotions()
+	s.completePromotions(s.clock.Now())
 }
 
-func (s *FlatFlash) mmap(size uint64, persist bool) (Region, error) {
+func (s *FlatFlash) mmapFor(t *Tenant, size uint64, persist bool) (Region, error) {
 	if s.crashed {
 		return Region{}, ErrCrashed
 	}
@@ -211,71 +220,80 @@ func (s *FlatFlash) mmap(size uint64, persist bool) (Region, error) {
 	if int(s.nextLPN)+pages > s.ftl.LogicalPages() || int(s.nextLPN)+pages > s.cfg.ssdPages() {
 		return Region{}, ErrNoSSDSpace
 	}
-	vpn, err := s.as.Reserve(pages)
+	vpn, err := t.as.Reserve(pages)
 	if err != nil {
 		return Region{}, ErrNoSSDSpace
 	}
 	for i := 0; i < pages; i++ {
 		lpn := s.nextLPN
 		s.nextLPN++
-		s.as.Map(vpn+uint64(i), vm.PTE{Loc: vm.InSSD, SSDPage: lpn, Persist: persist})
-		s.vpnOfLPN[lpn] = vpn + uint64(i)
+		t.as.Map(vpn+uint64(i), vm.PTE{Loc: vm.InSSD, SSDPage: lpn, Persist: persist})
+		s.vpnOfLPN[lpn] = pageRef{t: t, vpn: vpn + uint64(i)}
 	}
 	return Region{Base: vpn * uint64(s.cfg.PageSize), Size: uint64(pages) * uint64(s.cfg.PageSize)}, nil
 }
 
 // Mmap implements Hierarchy.
-func (s *FlatFlash) Mmap(size uint64) (Region, error) { return s.mmap(size, false) }
+func (s *FlatFlash) Mmap(size uint64) (Region, error) { return s.mmapFor(s.self, size, false) }
 
 // MmapPersistent implements Hierarchy: pages carry the Persist PTE bit, so
 // the promotion policy never moves them to volatile DRAM and stores reach
 // the battery-backed SSD-Cache (§3.5).
-func (s *FlatFlash) MmapPersistent(size uint64) (Region, error) { return s.mmap(size, true) }
+func (s *FlatFlash) MmapPersistent(size uint64) (Region, error) {
+	return s.mmapFor(s.self, size, true)
+}
 
 // Read implements Hierarchy.
 func (s *FlatFlash) Read(addr uint64, buf []byte) (sim.Duration, error) {
-	return s.access(addr, buf, false)
+	return s.accessFor(s.self, addr, buf, false)
 }
 
 // Write implements Hierarchy.
 func (s *FlatFlash) Write(addr uint64, data []byte) (sim.Duration, error) {
-	return s.access(addr, data, true)
+	return s.accessFor(s.self, addr, data, true)
 }
 
-func (s *FlatFlash) access(addr uint64, buf []byte, isWrite bool) (sim.Duration, error) {
+// accessFor services one byte-granular access on behalf of tenant t,
+// advancing t's clock by the latency t's thread observes and pulling the
+// device frontier (s.clock) up to it.
+func (s *FlatFlash) accessFor(t *Tenant, addr uint64, buf []byte, isWrite bool) (sim.Duration, error) {
 	if s.crashed {
 		return 0, ErrCrashed
 	}
-	start := s.clock.Now()
+	start := t.clock.Now()
 	err := chunker(addr, buf, s.cfg.PageSize, s.cfg.CacheLineSize, func(vpn uint64, off int, b []byte) error {
-		return s.accessChunk(vpn, off, b, isWrite)
+		return s.accessChunkFor(t, vpn, off, b, isWrite)
 	})
 	if err != nil {
 		return 0, err
 	}
 	if s.probe != nil {
-		s.probe.Span(telemetry.SpanAccess, telemetry.TrackCPU, start, s.clock.Now(), int64(len(buf)))
+		s.probe.Span(telemetry.SpanAccess, t.track, start, t.clock.Now(), int64(len(buf)))
+	}
+	s.clock.AdvanceTo(t.clock.Now())
+	if s.arb != nil {
+		s.arb.Tick(s.clock.Now())
 	}
 	s.reg.Add("accesses", 1)
 	s.reg.Tick(s.clock.Now())
-	return s.clock.Now().Sub(start), nil
+	return t.clock.Now().Sub(start), nil
 }
 
-// accessChunk services one sub-cache-line access to one page, advancing the
-// actor clock by the latency the CPU observes.
-func (s *FlatFlash) accessChunk(vpn uint64, off int, b []byte, isWrite bool) error {
-	if err := s.checkCrash(); err != nil {
+// accessChunkFor services one sub-cache-line access to one page of tenant
+// t's address space, advancing t's clock by the latency its CPU observes.
+func (s *FlatFlash) accessChunkFor(t *Tenant, vpn uint64, off int, b []byte, isWrite bool) error {
+	if err := s.checkCrash(t.clock.Now()); err != nil {
 		return err
 	}
-	s.completePromotions()
-	now := s.clock.Now()
+	s.completePromotions(t.clock.Now())
+	now := t.clock.Now()
 
-	pte, tLat, err := s.as.Translate(vpn)
+	pte, tLat, err := t.as.Translate(vpn)
 	if err != nil {
 		return ErrOutOfRange
 	}
 	if tLat > 0 && s.probe != nil {
-		s.probe.Span(telemetry.SpanTranslate, telemetry.TrackCPU, now, now.Add(tLat), int64(vpn))
+		s.probe.Span(telemetry.SpanTranslate, t.track, now, now.Add(tLat), int64(vpn))
 	}
 	now = now.Add(tLat)
 
@@ -293,10 +311,14 @@ func (s *FlatFlash) accessChunk(vpn uint64, off int, b []byte, isWrite bool) err
 			copy(b, data[off:off+len(b)])
 			s.c.Add("dram_reads", 1)
 		}
-		if s.probe != nil {
-			s.probe.Span(telemetry.SpanDRAM, telemetry.TrackCPU, now, now.Add(lat), int64(pte.Frame))
+		t.dramHits++
+		if s.arb != nil {
+			s.arb.NoteHit(t.id)
 		}
-		s.clock.AdvanceTo(now.Add(lat))
+		if s.probe != nil {
+			s.probe.Span(telemetry.SpanDRAM, t.track, now, now.Add(lat), int64(pte.Frame))
+		}
+		t.clock.AdvanceTo(now.Add(lat))
 		return nil
 	}
 
@@ -307,14 +329,14 @@ func (s *FlatFlash) accessChunk(vpn uint64, off int, b []byte, isWrite bool) err
 	case plb.RouteDRAM:
 		s.c.Add("plb_redirects", 1)
 		if s.probe != nil {
-			s.probe.Span(telemetry.SpanPLBRedirect, telemetry.TrackCPU, now, now.Add(s.cfg.DRAMLat), int64(lpn))
+			s.probe.Span(telemetry.SpanPLBRedirect, t.track, now, now.Add(s.cfg.DRAMLat), int64(lpn))
 		}
-		s.clock.AdvanceTo(now.Add(s.cfg.DRAMLat))
+		t.clock.AdvanceTo(now.Add(s.cfg.DRAMLat))
 		return nil
 	case plb.RouteSSD:
 		done := s.link.MMIORead(now, pte.Persist)
 		s.c.Add("mmio_reads", 1)
-		s.clock.AdvanceTo(done)
+		t.clock.AdvanceTo(done)
 		return nil
 	}
 
@@ -332,10 +354,10 @@ func (s *FlatFlash) accessChunk(vpn uint64, off int, b []byte, isWrite bool) err
 			if s.hostCache != nil {
 				s.hostCache.update(lpn, line, off-lineStart, b)
 			}
-			s.clock.AdvanceTo(hostDone)
+			t.clock.AdvanceTo(hostDone)
 			return nil
 		}
-		e, _, hit := s.ensureCached(now, lpn)
+		e, _, hit := s.ensureCachedFor(t, now, lpn)
 		if e == nil {
 			return ErrNoSSDSpace
 		}
@@ -352,8 +374,8 @@ func (s *FlatFlash) accessChunk(vpn uint64, off int, b []byte, isWrite bool) err
 			s.hostCache.update(lpn, line, off-lineStart, b)
 		}
 		s.countHit(hit)
-		s.maybePromote(now, vpn, lpn, pte, e)
-		s.clock.AdvanceTo(hostDone)
+		s.maybePromote(t, now, vpn, lpn, pte, e)
+		t.clock.AdvanceTo(hostDone)
 		return nil
 	}
 	// With a coherent interconnect, the CPU may have the line cached: no
@@ -363,13 +385,13 @@ func (s *FlatFlash) accessChunk(vpn uint64, off int, b []byte, isWrite bool) err
 			copy(b, data[off-lineStart:off-lineStart+len(b)])
 			s.c.Add("hostcache_hits", 1)
 			if s.probe != nil {
-				s.probe.Span(telemetry.SpanHostCacheHit, telemetry.TrackCPU, now, now.Add(s.cfg.HostCacheLatency), int64(lpn))
+				s.probe.Span(telemetry.SpanHostCacheHit, t.track, now, now.Add(s.cfg.HostCacheLatency), int64(lpn))
 			}
-			s.clock.AdvanceTo(now.Add(s.cfg.HostCacheLatency))
+			t.clock.AdvanceTo(now.Add(s.cfg.HostCacheLatency))
 			return nil
 		}
 	}
-	e, ready, hit := s.ensureCached(now, lpn)
+	e, ready, hit := s.ensureCachedFor(t, now, lpn)
 	if e == nil {
 		return ErrNoSSDSpace
 	}
@@ -380,8 +402,8 @@ func (s *FlatFlash) accessChunk(vpn uint64, off int, b []byte, isWrite bool) err
 	}
 	s.c.Add("mmio_reads", 1)
 	s.countHit(hit)
-	s.maybePromote(now, vpn, lpn, pte, e)
-	s.clock.AdvanceTo(done)
+	s.maybePromote(t, now, vpn, lpn, pte, e)
+	t.clock.AdvanceTo(done)
 	return nil
 }
 
@@ -393,10 +415,11 @@ func (s *FlatFlash) countHit(hit bool) {
 	}
 }
 
-// ensureCached makes page lpn resident in the SSD-Cache, filling from flash
-// on a miss (and writing back a dirty victim to flash, off the host's
-// critical path). It returns the entry and the time the data is available.
-func (s *FlatFlash) ensureCached(now sim.Time, lpn uint32) (*ssdcache.Entry, sim.Time, bool) {
+// ensureCachedFor makes page lpn resident in the SSD-Cache on behalf of
+// tenant t, filling from flash on a miss (and writing back a dirty victim to
+// flash, off the host's critical path). It returns the entry and the time
+// the data is available.
+func (s *FlatFlash) ensureCachedFor(t *Tenant, now sim.Time, lpn uint32) (*ssdcache.Entry, sim.Time, bool) {
 	if e, ok := s.cach.Lookup(lpn); ok {
 		if s.probe != nil {
 			s.probe.Span(telemetry.SpanCacheProbe, telemetry.TrackSSD, now, now.Add(ssdcache.AccessCost), int64(lpn))
@@ -413,6 +436,7 @@ func (s *FlatFlash) ensureCached(now sim.Time, lpn uint32) (*ssdcache.Entry, sim
 		s.probe.Span(telemetry.SpanCacheProbe, telemetry.TrackSSD, now, done, int64(lpn))
 	}
 	e, victim, evicted := s.cach.Insert(lpn, s.scratch, false)
+	e.Owner = t.id
 	if evicted {
 		if s.pol != nil {
 			s.pol.AdjustCnt(victim.PageCnt)
@@ -431,10 +455,10 @@ func (s *FlatFlash) ensureCached(now sim.Time, lpn uint32) (*ssdcache.Entry, sim
 	return e, done, false
 }
 
-// maybePromote runs Algorithm 1's UPDATE for this access and starts an
+// maybePromote runs Algorithm 1's UPDATE for tenant t's access and starts an
 // off-critical-path promotion when the policy fires (§3.3, §3.4). Pages
 // with the Persist bit bypass the policy entirely (§3.5).
-func (s *FlatFlash) maybePromote(now sim.Time, vpn uint64, lpn uint32, pte *vm.PTE, e *ssdcache.Entry) {
+func (s *FlatFlash) maybePromote(t *Tenant, now sim.Time, vpn uint64, lpn uint32, pte *vm.PTE, e *ssdcache.Entry) {
 	if pte.Persist || s.pol == nil {
 		return
 	}
@@ -450,10 +474,10 @@ func (s *FlatFlash) maybePromote(now sim.Time, vpn uint64, lpn uint32, pte *vm.P
 	}
 	if !s.cfg.UsePLB {
 		// Ablation: no PLB means the CPU stalls for the whole promotion.
-		s.promoteStalling(now, vpn, lpn)
+		s.promoteStalling(t, now, vpn, lpn)
 		return
 	}
-	frame, ok := s.allocFrame(now)
+	frame, ok := s.allocFrameFor(t, now)
 	if !ok {
 		s.c.Add("promotions_skipped", 1)
 		return
@@ -469,25 +493,27 @@ func (s *FlatFlash) maybePromote(now sim.Time, vpn uint64, lpn uint32, pte *vm.P
 	if err := s.plb.Start(now, lpn, frame, v.Data, dst, v.Dirty); err != nil {
 		// PLB full: abandon the promotion, put the page back in the cache.
 		s.dram.Release(frame)
-		s.cach.Insert(lpn, v.Data, v.Dirty)
+		re, _, _ := s.cach.Insert(lpn, v.Data, v.Dirty)
+		re.Owner = t.id
 		s.c.Add("promotions_skipped", 1)
 		return
 	}
-	s.vpnOfFrm[frame] = vpn
+	s.trackFrame(frame, pageRef{t: t, vpn: vpn})
 	if s.hostCache != nil {
 		// The page's authoritative copy is moving to DRAM; coherence
 		// invalidates the CPU's cached lines for it.
 		s.hostCache.invalidatePage(lpn, s.cfg.PageSize/s.cfg.CacheLineSize)
 	}
+	t.promotions++
 	s.c.Add("promotions", 1)
 	s.c.Add("page_movements", 1)
 	s.link.DMAPage(now) // the promotion's page transfer occupies the link
 }
 
 // promoteStalling is the no-PLB ablation: the promotion happens on the
-// caller's critical path.
-func (s *FlatFlash) promoteStalling(now sim.Time, vpn uint64, lpn uint32) {
-	frame, ok := s.allocFrame(now)
+// calling tenant's critical path.
+func (s *FlatFlash) promoteStalling(t *Tenant, now sim.Time, vpn uint64, lpn uint32) {
+	frame, ok := s.allocFrameFor(t, now)
 	if !ok {
 		s.c.Add("promotions_skipped", 1)
 		return
@@ -504,22 +530,40 @@ func (s *FlatFlash) promoteStalling(now sim.Time, vpn uint64, lpn uint32) {
 	dst, _ := s.dram.Data(frame)
 	copy(dst, v.Data)
 	s.link.DMAPage(now)
-	upd := s.as.UpdateMapping(vpn, vm.PTE{Loc: vm.InDRAM, Frame: frame, SSDPage: lpn, Dirty: v.Dirty})
-	s.vpnOfFrm[frame] = vpn
+	upd := t.as.UpdateMapping(vpn, vm.PTE{Loc: vm.InDRAM, Frame: frame, SSDPage: lpn, Dirty: v.Dirty})
+	s.trackFrame(frame, pageRef{t: t, vpn: vpn})
+	t.promotions++
 	s.c.Add("promotions", 1)
 	s.c.Add("page_movements", 1)
 	if s.probe != nil {
-		s.probe.Span(telemetry.SpanPromotionStall, telemetry.TrackCPU, now, now.Add(s.cfg.PLB.PromotionLatency).Add(upd), int64(lpn))
+		s.probe.Span(telemetry.SpanPromotionStall, t.track, now, now.Add(s.cfg.PLB.PromotionLatency).Add(upd), int64(lpn))
 	}
 	// CPU waits for copy + mapping update.
-	s.clock.AdvanceTo(now.Add(s.cfg.PLB.PromotionLatency).Add(upd))
+	t.clock.AdvanceTo(now.Add(s.cfg.PLB.PromotionLatency).Add(upd))
 }
 
-// allocFrame returns a free DRAM frame, evicting the LRU page if needed.
-// Eviction writes a dirty page back to the SSD (page-granularity, §3.3) and
-// updates its PTE/TLB; this is background work and does not advance the
-// actor clock.
-func (s *FlatFlash) allocFrame(now sim.Time) (int, bool) {
+// allocFrameFor returns a free DRAM frame for tenant t, evicting the LRU
+// page if needed. When a DRAM-budget arbiter is attached and t is at or over
+// its budget, t recycles its own least-recently-used frame instead of taking
+// one from the shared pool or a neighbor. Eviction writes a dirty page back
+// to the SSD (page-granularity, §3.3) and updates its PTE/TLB; this is
+// background work and does not advance the actor clock.
+func (s *FlatFlash) allocFrameFor(t *Tenant, now sim.Time) (int, bool) {
+	if s.arb != nil && !s.arb.Allow(t.id) {
+		victim, ok := s.dram.EvictCandidateWhere(func(f int) bool {
+			ref, held := s.vpnOfFrm[f]
+			return held && ref.t == t
+		})
+		if !ok {
+			return -1, false
+		}
+		s.evictFrame(victim, now)
+		f, err := s.dram.Alloc()
+		if err != nil {
+			return -1, false
+		}
+		return f, true
+	}
 	if f, err := s.dram.Alloc(); err == nil {
 		return f, true
 	}
@@ -527,23 +571,10 @@ func (s *FlatFlash) allocFrame(now sim.Time) (int, bool) {
 	if !ok {
 		return -1, false
 	}
-	vpn, ok := s.vpnOfFrm[victim]
-	if !ok {
+	if _, held := s.vpnOfFrm[victim]; !held {
 		return -1, false
 	}
-	pte := s.as.PTEOf(vpn)
-	lpn := pte.SSDPage
-	if pte.Dirty {
-		data, _ := s.dram.Data(victim)
-		s.link.DMAPage(now)
-		s.writeBackToCache(now, lpn, data)
-		s.c.Add("evict_writebacks", 1)
-		s.c.Add("page_movements", 1)
-	}
-	s.as.UpdateMapping(vpn, vm.PTE{Loc: vm.InSSD, SSDPage: lpn, Persist: pte.Persist})
-	s.c.Add("evictions", 1)
-	delete(s.vpnOfFrm, victim)
-	s.dram.Release(victim)
+	s.evictFrame(victim, now)
 	f, err := s.dram.Alloc()
 	if err != nil {
 		return -1, false
@@ -551,15 +582,59 @@ func (s *FlatFlash) allocFrame(now sim.Time) (int, bool) {
 	return f, true
 }
 
+// evictFrame writes the page in frame back to the SSD if dirty, remaps the
+// owning tenant's PTE to the SSD, and frees the frame.
+func (s *FlatFlash) evictFrame(frame int, now sim.Time) {
+	ref := s.vpnOfFrm[frame]
+	pte := ref.t.as.PTEOf(ref.vpn)
+	lpn := pte.SSDPage
+	if pte.Dirty {
+		data, _ := s.dram.Data(frame)
+		s.link.DMAPage(now)
+		s.writeBackToCache(now, lpn, data, ref.t.id)
+		s.c.Add("evict_writebacks", 1)
+		s.c.Add("page_movements", 1)
+	}
+	ref.t.as.UpdateMapping(ref.vpn, vm.PTE{Loc: vm.InSSD, SSDPage: lpn, Persist: pte.Persist})
+	s.c.Add("evictions", 1)
+	s.untrackFrame(frame)
+	s.dram.Release(frame)
+}
+
+// trackFrame records frame as held by ref's tenant, keeping the arbiter's
+// per-tenant holdings in step. Re-tracking the same frame (promotion start
+// then completion) is idempotent.
+func (s *FlatFlash) trackFrame(frame int, ref pageRef) {
+	if old, held := s.vpnOfFrm[frame]; held && s.arb != nil {
+		s.arb.NoteFrame(old.t.id, -1)
+	}
+	s.vpnOfFrm[frame] = ref
+	if s.arb != nil {
+		s.arb.NoteFrame(ref.t.id, +1)
+	}
+}
+
+// untrackFrame forgets frame's owner and releases its arbiter holding.
+func (s *FlatFlash) untrackFrame(frame int) {
+	if ref, held := s.vpnOfFrm[frame]; held {
+		if s.arb != nil {
+			s.arb.NoteFrame(ref.t.id, -1)
+		}
+		delete(s.vpnOfFrm, frame)
+	}
+}
+
 // writeBackToCache lands an evicted page in the SSD-Cache dirty (the
 // battery-backed cache absorbs it; flash write deferred to GC/eviction).
-func (s *FlatFlash) writeBackToCache(now sim.Time, lpn uint32, data []byte) {
+// owner labels the tenant whose page is being written back.
+func (s *FlatFlash) writeBackToCache(now sim.Time, lpn uint32, data []byte, owner int) {
 	if e, ok := s.cach.Lookup(lpn); ok {
 		copy(e.Data, data)
 		e.Dirty = true
 		return
 	}
-	_, victim, evicted := s.cach.Insert(lpn, data, true)
+	e, victim, evicted := s.cach.Insert(lpn, data, true)
+	e.Owner = owner
 	if evicted {
 		if s.pol != nil {
 			s.pol.AdjustCnt(victim.PageCnt)
@@ -573,20 +648,21 @@ func (s *FlatFlash) writeBackToCache(now sim.Time, lpn uint32, data []byte) {
 	}
 }
 
-// completePromotions finalizes in-flight promotions whose deadline passed:
-// the PTE now points at the DRAM frame and the TLB entry is refreshed. The
-// PTE/TLB update cost is charged off the critical path (counted, not added
-// to the actor clock), as §3.3 argues it is negligible next to SSD access.
-func (s *FlatFlash) completePromotions() {
-	for _, c := range s.plb.Expired(s.clock.Now()) {
-		vpn, ok := s.vpnOfLPN[c.LPN]
+// completePromotions finalizes in-flight promotions whose deadline passed by
+// now (the acting tenant's time, or the device frontier): the PTE now points
+// at the DRAM frame and the TLB entry is refreshed. The PTE/TLB update cost
+// is charged off the critical path (counted, not added to the actor clock),
+// as §3.3 argues it is negligible next to SSD access.
+func (s *FlatFlash) completePromotions(now sim.Time) {
+	for _, c := range s.plb.Expired(now) {
+		ref, ok := s.vpnOfLPN[c.LPN]
 		if !ok {
 			s.dram.Release(c.Frame)
 			continue
 		}
-		s.as.UpdateMapping(vpn, vm.PTE{Loc: vm.InDRAM, Frame: c.Frame, SSDPage: c.LPN, Dirty: c.Dirty})
+		ref.t.as.UpdateMapping(ref.vpn, vm.PTE{Loc: vm.InDRAM, Frame: c.Frame, SSDPage: c.LPN, Dirty: c.Dirty})
 		s.dram.Unpin(c.Frame)
-		s.vpnOfFrm[c.Frame] = vpn
+		s.trackFrame(c.Frame, ref)
 		s.c.Add("promotion_completions", 1)
 	}
 }
@@ -618,10 +694,12 @@ func (s *FlatFlash) Counters() *stats.Counters {
 	out.Add("pcie_dma_pages", d)
 	out.Add("pcie_persist_tagged", p)
 	out.Add("pcie_traffic_bytes", s.link.TrafficBytes(s.cfg.CacheLineSize, s.cfg.PageSize))
-	th, tm, sd := s.as.Stats()
-	out.Add("tlb_hits", th)
-	out.Add("tlb_misses", tm)
-	out.Add("tlb_shootdowns", sd)
+	for _, t := range s.tenants {
+		th, tm, sd := t.as.Stats()
+		out.Add("tlb_hits", th)
+		out.Add("tlb_misses", tm)
+		out.Add("tlb_shootdowns", sd)
+	}
 	if s.pol != nil {
 		out.Add("policy_promotions", s.pol.Promotions())
 		out.Add("policy_threshold", int64(s.pol.Threshold()))
@@ -653,17 +731,17 @@ func (s *FlatFlash) CheckInvariants() error {
 	}
 	sort.Slice(lpns, func(i, j int) bool { return lpns[i] < lpns[j] })
 	for _, lpn := range lpns {
-		vpn := s.vpnOfLPN[lpn]
-		pte := s.as.PTEOf(vpn)
+		ref := s.vpnOfLPN[lpn]
+		pte := ref.t.as.PTEOf(ref.vpn)
 		if pte == nil {
-			return fmt.Errorf("core: vpn %d of lpn %d has no PTE", vpn, lpn)
+			return fmt.Errorf("core: vpn %d of lpn %d has no PTE", ref.vpn, lpn)
 		}
 		if pte.SSDPage != lpn {
-			return fmt.Errorf("core: vpn %d PTE names lpn %d, want %d", vpn, pte.SSDPage, lpn)
+			return fmt.Errorf("core: vpn %d PTE names lpn %d, want %d", ref.vpn, pte.SSDPage, lpn)
 		}
 		if pte.Loc == vm.InDRAM {
-			if mapped, ok := s.vpnOfFrm[pte.Frame]; !ok || mapped != vpn {
-				return fmt.Errorf("core: vpn %d PTE names frame %d not mapped back to it", vpn, pte.Frame)
+			if mapped, ok := s.vpnOfFrm[pte.Frame]; !ok || mapped != ref {
+				return fmt.Errorf("core: vpn %d PTE names frame %d not mapped back to it", ref.vpn, pte.Frame)
 			}
 		}
 	}

@@ -113,7 +113,7 @@ type Hierarchy interface {
 // the frame map through it so that map-iteration order never leaks into
 // device state (flash allocation, wear) or telemetry output — two runs with
 // the same seed must produce byte-identical dumps.
-func sortedFrames(m map[int]uint64) []int {
+func sortedFrames[V any](m map[int]V) []int {
 	frames := make([]int, 0, len(m))
 	for f := range m {
 		frames = append(frames, f)

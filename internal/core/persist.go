@@ -17,20 +17,24 @@ const FlushLineCost = 100 * sim.Nanosecond
 // write-verify read — the paper's mfence-equivalent (§3.5, Figure 5) —
 // orders them. The whole range must lie in a persistent region.
 func (s *FlatFlash) Persist(addr uint64, size int) (sim.Duration, error) {
+	return s.persistFor(s.self, addr, size)
+}
+
+func (s *FlatFlash) persistFor(t *Tenant, addr uint64, size int) (sim.Duration, error) {
 	if s.crashed {
 		return 0, ErrCrashed
 	}
-	if err := s.checkCrash(); err != nil {
+	if err := s.checkCrash(t.clock.Now()); err != nil {
 		return 0, err
 	}
 	if size <= 0 {
 		return 0, nil
 	}
-	start := s.clock.Now()
+	start := t.clock.Now()
 	firstVPN := addr / uint64(s.cfg.PageSize)
 	lastVPN := (addr + uint64(size) - 1) / uint64(s.cfg.PageSize)
 	for vpn := firstVPN; vpn <= lastVPN; vpn++ {
-		pte, _, err := s.as.Translate(vpn)
+		pte, _, err := t.as.Translate(vpn)
 		if err != nil {
 			return 0, ErrOutOfRange
 		}
@@ -39,17 +43,18 @@ func (s *FlatFlash) Persist(addr uint64, size int) (sim.Duration, error) {
 		}
 	}
 	lines := (int(addr%uint64(s.cfg.CacheLineSize)) + size + s.cfg.CacheLineSize - 1) / s.cfg.CacheLineSize
-	now := s.clock.Now().Add(sim.Duration(lines) * FlushLineCost)
+	now := t.clock.Now().Add(sim.Duration(lines) * FlushLineCost)
 	// Write-verify read: a non-posted MMIO read that drains all posted
 	// writes ahead of it in the host bridge.
 	now = s.link.MMIORead(now, true)
 	s.c.Add("persist_barriers", 1)
 	s.c.Add("persist_lines", int64(lines))
 	if s.probe != nil {
-		s.probe.Span(telemetry.SpanPersist, telemetry.TrackCPU, start, now, int64(lines))
+		s.probe.Span(telemetry.SpanPersist, t.track, start, now, int64(lines))
 	}
-	s.clock.AdvanceTo(now)
-	return s.clock.Now().Sub(start), nil
+	t.clock.AdvanceTo(now)
+	s.clock.AdvanceTo(t.clock.Now())
+	return t.clock.Now().Sub(start), nil
 }
 
 // SyncPages implements Hierarchy for FlatFlash: page-granularity durable
@@ -57,19 +62,23 @@ func (s *FlatFlash) Persist(addr uint64, size int) (sim.Duration, error) {
 // battery-backed SSD-Cache; SSD-resident dirty pages are already inside the
 // persistence domain.
 func (s *FlatFlash) SyncPages(addr uint64, n int) (sim.Duration, error) {
+	return s.syncPagesFor(s.self, addr, n)
+}
+
+func (s *FlatFlash) syncPagesFor(t *Tenant, addr uint64, n int) (sim.Duration, error) {
 	if s.crashed {
 		return 0, ErrCrashed
 	}
-	start := s.clock.Now()
+	start := t.clock.Now()
 	vpn := addr / uint64(s.cfg.PageSize)
-	now := s.clock.Now()
+	now := t.clock.Now()
 	for i := 0; i < n; i++ {
 		// A power loss can land between page transfers: earlier pages are
 		// already in the persistence domain, later ones are not.
-		if err := s.checkCrash(); err != nil {
+		if err := s.checkCrash(now); err != nil {
 			return 0, err
 		}
-		pte, tLat, err := s.as.Translate(vpn + uint64(i))
+		pte, tLat, err := t.as.Translate(vpn + uint64(i))
 		if err != nil {
 			return 0, ErrOutOfRange
 		}
@@ -77,7 +86,7 @@ func (s *FlatFlash) SyncPages(addr uint64, n int) (sim.Duration, error) {
 		if pte.Loc == vm.InDRAM && pte.Dirty {
 			data, _ := s.dram.Data(pte.Frame)
 			now = s.link.DMAPage(now)
-			s.writeBackToCache(now, pte.SSDPage, data)
+			s.writeBackToCache(now, pte.SSDPage, data, t.id)
 			pte.Dirty = false
 			s.c.Add("sync_page_transfers", 1)
 		}
@@ -86,33 +95,34 @@ func (s *FlatFlash) SyncPages(addr uint64, n int) (sim.Duration, error) {
 	now = s.link.MMIORead(now, true)
 	s.c.Add("sync_calls", 1)
 	if s.probe != nil {
-		s.probe.Span(telemetry.SpanSync, telemetry.TrackCPU, start, now, int64(n))
+		s.probe.Span(telemetry.SpanSync, t.track, start, now, int64(n))
 	}
-	s.clock.AdvanceTo(now)
-	return s.clock.Now().Sub(start), nil
+	t.clock.AdvanceTo(now)
+	s.clock.AdvanceTo(t.clock.Now())
+	return t.clock.Now().Sub(start), nil
 }
 
 // Drain implements Hierarchy: every dirty DRAM page is written back into
 // the SSD-Cache and every dirty SSD-Cache page is programmed to flash.
 func (s *FlatFlash) Drain() {
-	s.completePromotions()
+	s.completePromotions(s.clock.Now())
 	for _, c := range s.plb.Flush(s.clock.Now()) {
-		vpn, ok := s.vpnOfLPN[c.LPN]
+		ref, ok := s.vpnOfLPN[c.LPN]
 		if !ok {
 			s.dram.Release(c.Frame)
 			continue
 		}
-		s.as.UpdateMapping(vpn, vm.PTE{Loc: vm.InDRAM, Frame: c.Frame, SSDPage: c.LPN, Dirty: c.Dirty})
+		ref.t.as.UpdateMapping(ref.vpn, vm.PTE{Loc: vm.InDRAM, Frame: c.Frame, SSDPage: c.LPN, Dirty: c.Dirty})
 		s.dram.Unpin(c.Frame)
-		s.vpnOfFrm[c.Frame] = vpn
+		s.trackFrame(c.Frame, ref)
 	}
 	now := s.clock.Now()
 	for _, frame := range sortedFrames(s.vpnOfFrm) {
-		vpn := s.vpnOfFrm[frame]
-		pte := s.as.PTEOf(vpn)
+		ref := s.vpnOfFrm[frame]
+		pte := ref.t.as.PTEOf(ref.vpn)
 		if pte.Dirty {
 			data, _ := s.dram.Data(frame)
-			s.writeBackToCache(now, pte.SSDPage, data)
+			s.writeBackToCache(now, pte.SSDPage, data, ref.t.id)
 			pte.Dirty = false
 		}
 	}
@@ -141,12 +151,15 @@ func (s *FlatFlash) Crash() {
 	// Every DRAM-resident page reverts to its SSD backing (whatever last
 	// reached the persistence domain).
 	for _, frame := range sortedFrames(s.vpnOfFrm) {
-		vpn := s.vpnOfFrm[frame]
-		pte := s.as.PTEOf(vpn)
-		s.as.UpdateMapping(vpn, vm.PTE{Loc: vm.InSSD, SSDPage: pte.SSDPage, Persist: pte.Persist})
+		ref := s.vpnOfFrm[frame]
+		pte := ref.t.as.PTEOf(ref.vpn)
+		ref.t.as.UpdateMapping(ref.vpn, vm.PTE{Loc: vm.InSSD, SSDPage: pte.SSDPage, Persist: pte.Persist})
 		s.dram.Release(frame)
 	}
-	s.vpnOfFrm = make(map[int]uint64)
+	s.vpnOfFrm = make(map[int]pageRef)
+	if s.arb != nil {
+		s.arb.ResetFrames()
+	}
 	if s.hostCache != nil {
 		s.hostCache.drop() // CPU caches are volatile
 	}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"flatflash/internal/promote"
+	"flatflash/internal/sim"
+	"flatflash/internal/stats"
+)
+
+func newFF(t *testing.T, cfg Config) *FlatFlash {
+	t.Helper()
+	ff, err := NewFlatFlash(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ff
+}
+
+// Driving the self tenant handle must be the same execution as driving the
+// Hierarchy interface: identical latencies, clock, and counters.
+func TestSelfTenantMatchesHierarchyAPI(t *testing.T) {
+	run := func(useTenant bool) (sim.Time, *stats.Counters) {
+		ff := newFF(t, testConfig())
+		var (
+			reg Region
+			err error
+		)
+		if useTenant {
+			reg, err = ff.SelfTenant().Mmap(64 << 10)
+		} else {
+			reg, err = ff.Mmap(64 << 10)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := sim.NewRNG(11)
+		buf := make([]byte, 64)
+		for i := 0; i < 2000; i++ {
+			addr := reg.Base + rng.Uint64n(reg.Size-64)
+			var aerr error
+			if rng.Intn(4) == 0 {
+				if useTenant {
+					_, aerr = ff.SelfTenant().Write(addr, buf)
+				} else {
+					_, aerr = ff.Write(addr, buf)
+				}
+			} else {
+				if useTenant {
+					_, aerr = ff.SelfTenant().Read(addr, buf)
+				} else {
+					_, aerr = ff.Read(addr, buf)
+				}
+			}
+			if aerr != nil {
+				t.Fatal(aerr)
+			}
+		}
+		return ff.Now(), ff.Counters()
+	}
+	nowA, cA := run(false)
+	nowB, cB := run(true)
+	if nowA != nowB {
+		t.Fatalf("clocks diverge: hierarchy %v, tenant %v", nowA, nowB)
+	}
+	for _, kv := range cA.Snapshot() {
+		if got := cB.Get(kv.Name); got != kv.Value {
+			t.Fatalf("counter %s diverges: hierarchy %d, tenant %d", kv.Name, kv.Value, got)
+		}
+	}
+}
+
+func TestTenantsIsolatedData(t *testing.T) {
+	ff := newFF(t, testConfig())
+	t1, err := ff.OpenTenant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := ff.OpenTenant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.ID() != 1 || t2.ID() != 2 || ff.Tenants() != 3 {
+		t.Fatalf("tenant ids %d/%d, count %d", t1.ID(), t2.ID(), ff.Tenants())
+	}
+	r1, err := t1.Mmap(32 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := t2.Mmap(32 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both regions start at the same tenant-virtual base but are backed by
+	// distinct SSD pages.
+	if r1.Base != r2.Base {
+		t.Fatalf("tenant-virtual bases differ: %d vs %d", r1.Base, r2.Base)
+	}
+	pat1 := bytes.Repeat([]byte{0xAA}, 256)
+	pat2 := bytes.Repeat([]byte{0x55}, 256)
+	if _, err := t1.Write(r1.Base+100, pat1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.Write(r2.Base+100, pat2); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 256)
+	if _, err := t1.Read(r1.Base+100, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pat1) {
+		t.Fatal("tenant 1 data corrupted by tenant 2's write at the same virtual address")
+	}
+	if _, err := t2.Read(r2.Base+100, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pat2) {
+		t.Fatal("tenant 2 data corrupted")
+	}
+	if err := ff.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviceClockIsFrontier(t *testing.T) {
+	ff := newFF(t, testConfig())
+	t1, _ := ff.OpenTenant()
+	t2, _ := ff.OpenTenant()
+	r1, _ := t1.Mmap(8 << 10)
+	r2, _ := t2.Mmap(8 << 10)
+	buf := make([]byte, 64)
+	if _, err := t1.Read(r1.Base, buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.Read(r2.Base, buf); err != nil {
+		t.Fatal(err)
+	}
+	max := t1.Now()
+	if t2.Now() > max {
+		max = t2.Now()
+	}
+	if ff.Now() != max {
+		t.Fatalf("device frontier %v != max tenant time %v", ff.Now(), max)
+	}
+	// Think time on one tenant pulls the frontier only after its next op.
+	t1.AdvanceTo(t1.Now() + sim.Time(5*sim.Millisecond))
+	if _, err := t1.Read(r1.Base, buf); err != nil {
+		t.Fatal(err)
+	}
+	if ff.Now() < t1.Now() {
+		t.Fatalf("frontier %v behind tenant %v", ff.Now(), t1.Now())
+	}
+}
+
+// With an arbiter attached, a tenant over budget recycles its own frames:
+// total holdings stay within the pool and the device stays consistent.
+func TestArbiterBoundsTenantHoldings(t *testing.T) {
+	cfg := testConfig()
+	cfg.DRAMBytes = 16 << 12 // 16 frames: scarce
+	ff := newFF(t, cfg)
+	t1, _ := ff.OpenTenant()
+	t2, _ := ff.OpenTenant()
+	acfg := promote.DefaultArbiterConfig(16)
+	arb, err := promote.NewArbiter(acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff.SetArbiter(arb)
+	if arb.Tenants() != 3 {
+		t.Fatalf("arbiter saw %d tenants, want 3", arb.Tenants())
+	}
+	r1, _ := t1.Mmap(128 << 10)
+	r2, _ := t2.Mmap(128 << 10)
+	buf := make([]byte, 64)
+	rng := sim.NewRNG(5)
+	// Tenant 1 hammers a small hot set (high promotion benefit); tenant 2
+	// sprays uniformly.
+	for i := 0; i < 6000; i++ {
+		if _, err := t1.Read(r1.Base+uint64(rng.Intn(8))*4096, buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := t2.Read(r2.Base+rng.Uint64n(r2.Size-64), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	for id := 0; id < arb.Tenants(); id++ {
+		total += arb.Frames(id)
+	}
+	if total > 16 {
+		t.Fatalf("tenants hold %d frames, pool is 16", total)
+	}
+	if arb.Rebalances() == 0 {
+		t.Fatal("arbiter never rebalanced despite virtual time advancing")
+	}
+	if t1.DRAMHits() == 0 {
+		t.Fatal("hot tenant never hit its promoted pages")
+	}
+	if err := ff.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiTenantCrashRecover(t *testing.T) {
+	ff := newFF(t, testConfig())
+	t1, _ := ff.OpenTenant()
+	r0, _ := ff.Mmap(16 << 10)
+	r1, _ := t1.Mmap(16 << 10)
+	pat := bytes.Repeat([]byte{0x7C}, 64)
+	for i := 0; i < 50; i++ {
+		if _, err := ff.Write(r0.Base, pat); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := t1.Write(r1.Base, pat); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ff.Crash()
+	if _, err := t1.Read(r1.Base, make([]byte, 64)); err != ErrCrashed {
+		t.Fatalf("tenant access on crashed device: %v", err)
+	}
+	ff.Recover()
+	if err := ff.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 64)
+	if _, err := t1.Read(r1.Base, got); err != nil {
+		t.Fatal(err)
+	}
+	// Stores traveled as posted MMIO writes into the battery-backed cache
+	// (or were promoted then crashed back to their last persisted state);
+	// after recovery the page must be readable without error and the
+	// cross-layer maps consistent.
+	c := ff.Counters()
+	if c.Get("recovery_invariant_violations") != 0 {
+		t.Fatalf("recovery violated invariants: %v", c)
+	}
+}
+
+// Concurrent promotions (several in flight across tenants) must keep every
+// tenant's TLB and page table coherent: translations after completion see
+// InDRAM, evictions shoot the entries back down, and reads return the
+// latest bytes throughout.
+func TestTLBRemapUnderConcurrentPromotions(t *testing.T) {
+	cfg := testConfig()
+	cfg.DRAMBytes = 8 << 12 // 8 frames force constant promote/evict churn
+	ff := newFF(t, cfg)
+	tenants := []*Tenant{ff.SelfTenant()}
+	for i := 0; i < 3; i++ {
+		tn, err := ff.OpenTenant()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tenants = append(tenants, tn)
+	}
+	regions := make([]Region, len(tenants))
+	for i, tn := range tenants {
+		r, err := tn.Mmap(64 << 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		regions[i] = r
+	}
+	rng := sim.NewRNG(23)
+	val := byte(1)
+	for round := 0; round < 3000; round++ {
+		i := rng.Intn(len(tenants))
+		tn, r := tenants[i], regions[i]
+		page := uint64(rng.Intn(16))
+		addr := r.Base + page*4096 + uint64(rng.Intn(60))
+		b := []byte{val, val + 1, val + 2, val + 3}
+		if _, err := tn.Write(addr, b); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 4)
+		if _, err := tn.Read(addr, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, b) {
+			t.Fatalf("round %d tenant %d: read %v after writing %v (page %d)", round, i, got, b, page)
+		}
+		val++
+	}
+	var shootdowns int64
+	for _, tn := range tenants {
+		_, _, sd := tn.TLBStats()
+		shootdowns += sd
+	}
+	if shootdowns == 0 {
+		t.Fatal("no TLB shootdowns despite promotion/eviction churn")
+	}
+	c := ff.Counters()
+	if c.Get("promotions") == 0 || c.Get("evictions") == 0 {
+		t.Fatalf("churn did not exercise promote+evict: %v", c)
+	}
+	if err := ff.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -166,5 +166,18 @@ func (d *DRAM) EvictCandidate() (int, bool) {
 	return e.Value.(int), true
 }
 
+// EvictCandidateWhere returns the least-recently-used unpinned frame that
+// satisfies keep, walking the LRU order from coldest to hottest. The
+// multi-tenant DRAM arbiter uses it to reclaim a frame from one specific
+// tenant (the one over its budget) without disturbing the others.
+func (d *DRAM) EvictCandidateWhere(keep func(frame int) bool) (int, bool) {
+	for e := d.lru.Back(); e != nil; e = e.Prev() {
+		if f := e.Value.(int); keep(f) {
+			return f, true
+		}
+	}
+	return -1, false
+}
+
 // Accesses returns the number of Touch calls.
 func (d *DRAM) Accesses() int64 { return d.accesses }

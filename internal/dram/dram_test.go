@@ -125,3 +125,46 @@ func TestPinExcludesFromEviction(t *testing.T) {
 		t.Fatal("pin of bogus frame accepted")
 	}
 }
+
+func TestEvictCandidateWhere(t *testing.T) {
+	d, err := New(Config{Frames: 4, PageSize: 64, AccessLatency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames []int
+	for i := 0; i < 4; i++ {
+		f, err := d.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, f)
+	}
+	// LRU order coldest-first is frames[0], frames[1], frames[2], frames[3].
+	owner := map[int]int{frames[0]: 1, frames[1]: 2, frames[2]: 1, frames[3]: 2}
+	f, ok := d.EvictCandidateWhere(func(f int) bool { return owner[f] == 2 })
+	if !ok || f != frames[1] {
+		t.Fatalf("owner-2 candidate = (%d, %v), want (%d, true)", f, ok, frames[1])
+	}
+	// Touch frames[1] to make it hottest: the next owner-2 candidate is frames[3].
+	if _, err := d.Touch(frames[1]); err != nil {
+		t.Fatal(err)
+	}
+	f, ok = d.EvictCandidateWhere(func(f int) bool { return owner[f] == 2 })
+	if !ok || f != frames[3] {
+		t.Fatalf("owner-2 candidate after touch = (%d, %v), want (%d, true)", f, ok, frames[3])
+	}
+	// Pinned frames never qualify.
+	if err := d.Pin(frames[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Pin(frames[2]); err != nil {
+		t.Fatal(err)
+	}
+	if f, ok := d.EvictCandidateWhere(func(f int) bool { return owner[f] == 1 }); ok {
+		t.Fatalf("pinned frames returned as candidate: %d", f)
+	}
+	// No match at all.
+	if _, ok := d.EvictCandidateWhere(func(int) bool { return false }); ok {
+		t.Fatal("EvictCandidateWhere matched with always-false predicate")
+	}
+}

@@ -28,6 +28,7 @@ var registry = []struct {
 	{"fig7", "Figure 7 ablation: centralized vs per-tx logging", one(Fig7Ablation)},
 	{"ablations", "Design ablations: promotion, PLB, RRIP, wear-aware GC", Ablations},
 	{"capi", "Extension: coherent host caching of MMIO (§3.1)", CAPI},
+	{"consolidate", "Extension: server consolidation, multi-tenant slowdown & fairness", one(Consolidate)},
 	{"table1", "Table 1: summary of improvements", one(Table1)},
 	{"table3", "Table 3: cost-effectiveness vs DRAM-only", one(Table3)},
 }

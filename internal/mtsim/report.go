@@ -1,0 +1,95 @@
+package mtsim
+
+import (
+	"fmt"
+	"io"
+
+	"flatflash/internal/sim"
+	"flatflash/internal/stats"
+)
+
+// TenantResult is one tenant's QoS outcome: its shared-run latency profile
+// next to its solo golden run on an idle device.
+type TenantResult struct {
+	ID   int
+	Spec TenantSpec
+
+	Shared  *stats.Histogram // latency while consolidated
+	Solo    *stats.Histogram // latency alone on a private device
+	Elapsed sim.Duration     // tenant virtual time to finish the shared run
+	// SoloElapsed is the tenant's virtual time to finish alone.
+	SoloElapsed sim.Duration
+
+	DRAMHits   int64 // shared-run accesses absorbed by promoted pages
+	Promotions int64 // shared-run page promotions
+	Budget     int   // final arbiter frame budget (0 without an arbiter)
+}
+
+// Slowdown is the tenant's consolidation penalty: shared mean latency over
+// solo mean latency. 1.0 means consolidation cost the tenant nothing.
+func (tr TenantResult) Slowdown() float64 {
+	solo := float64(tr.Solo.Mean())
+	if solo == 0 {
+		return 1
+	}
+	return float64(tr.Shared.Mean()) / solo
+}
+
+// Throughput returns the tenant's shared-run throughput in ops per virtual
+// second.
+func (tr TenantResult) Throughput() float64 {
+	if tr.Elapsed <= 0 {
+		return 0
+	}
+	return float64(tr.Shared.Count()) / tr.Elapsed.Seconds()
+}
+
+// Result is the outcome of one consolidation run.
+type Result struct {
+	Seed      uint64
+	ArbiterOn bool
+	Tenants   []TenantResult
+
+	// Fairness is the Jain index over per-tenant normalized progress
+	// (solo mean / shared mean): 1.0 when every tenant suffers the same
+	// slowdown, 1/N when one tenant makes all the progress.
+	Fairness float64
+	// Makespan is the device virtual-time frontier when the last tenant
+	// finished.
+	Makespan sim.Duration
+	// Counters is the shared device's counter snapshot.
+	Counters *stats.Counters
+}
+
+// MaxSlowdown returns the worst per-tenant slowdown (the consolidation
+// headline number).
+func (r *Result) MaxSlowdown() float64 {
+	worst := 0.0
+	for _, tr := range r.Tenants {
+		if s := tr.Slowdown(); s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// Write renders the result deterministically: fixed field order, fixed
+// float precision, durations as integer nanoseconds. Two runs with the same
+// configuration produce byte-identical output.
+func (r *Result) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "consolidate tenants=%d seed=%d arbiter=%v fairness=%.4f max_slowdown=%.3f makespan_ns=%d\n",
+		len(r.Tenants), r.Seed, r.ArbiterOn, r.Fairness, r.MaxSlowdown(), int64(r.Makespan)); err != nil {
+		return err
+	}
+	for _, tr := range r.Tenants {
+		if _, err := fmt.Fprintf(w,
+			"  tenant=%d mix=%s ops=%d slowdown=%.3f ops_per_s=%.1f mean_ns=%d p50_ns=%d p99_ns=%d solo_mean_ns=%d solo_p99_ns=%d dram_hits=%d promotions=%d budget=%d\n",
+			tr.ID, tr.Spec.Mix, tr.Shared.Count(), tr.Slowdown(), tr.Throughput(),
+			int64(tr.Shared.Mean()), int64(tr.Shared.Percentile(50)), int64(tr.Shared.Percentile(99)),
+			int64(tr.Solo.Mean()), int64(tr.Solo.Percentile(99)),
+			tr.DRAMHits, tr.Promotions, tr.Budget); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package promote
+
+import (
+	"testing"
+
+	"flatflash/internal/sim"
+)
+
+func newTestArbiter(t *testing.T, cfg ArbiterConfig, tenants int) *Arbiter {
+	t.Helper()
+	a, err := NewArbiter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < tenants; id++ {
+		a.AddTenant(id)
+	}
+	return a
+}
+
+func TestArbiterEqualSplitBeforeBenefit(t *testing.T) {
+	a := newTestArbiter(t, DefaultArbiterConfig(10), 3)
+	got := a.Budgets()
+	want := []int{4, 3, 3} // 10 = 3+3+3 with one leftover to tenant 0
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("budgets = %v, want %v", got, want)
+		}
+	}
+	sum := 0
+	for _, b := range got {
+		sum += b
+	}
+	if sum != 10 {
+		t.Fatalf("budgets sum to %d, want 10", sum)
+	}
+}
+
+func TestArbiterFollowsBenefit(t *testing.T) {
+	cfg := DefaultArbiterConfig(16)
+	a := newTestArbiter(t, cfg, 2)
+	a.Tick(0)
+	// Tenant 0 shows 9x the benefit of tenant 1 over several epochs.
+	now := sim.Time(0)
+	for epoch := 0; epoch < 8; epoch++ {
+		for i := 0; i < 90; i++ {
+			a.NoteHit(0)
+		}
+		for i := 0; i < 10; i++ {
+			a.NoteHit(1)
+		}
+		now = now.Add(cfg.Epoch)
+		a.Tick(now)
+	}
+	b0, b1 := a.Budget(0), a.Budget(1)
+	if b0+b1 != 16 {
+		t.Fatalf("budgets %d+%d do not cover the pool", b0, b1)
+	}
+	// MinShare=1 each, 14 proportional frames: tenant 0 should get ~90%.
+	if b0 < 12 {
+		t.Fatalf("high-benefit tenant budget = %d, want >= 12 (budgets %d/%d)", b0, b0, b1)
+	}
+	if b1 < cfg.MinShare {
+		t.Fatalf("low-benefit tenant fell below MinShare: %d", b1)
+	}
+}
+
+func TestArbiterMinShareFloor(t *testing.T) {
+	cfg := DefaultArbiterConfig(8)
+	cfg.MinShare = 2
+	a := newTestArbiter(t, cfg, 2)
+	a.Tick(0)
+	for i := 0; i < 1000; i++ {
+		a.NoteHit(0) // all benefit on tenant 0
+	}
+	a.Tick(sim.Time(cfg.Epoch))
+	if got := a.Budget(1); got != 2 {
+		t.Fatalf("zero-benefit tenant budget = %d, want MinShare 2", got)
+	}
+	if got := a.Budget(0); got != 6 {
+		t.Fatalf("full-benefit tenant budget = %d, want 6", got)
+	}
+}
+
+func TestArbiterAllowTracksFrames(t *testing.T) {
+	a := newTestArbiter(t, DefaultArbiterConfig(4), 2)
+	// Equal split: 2 frames each.
+	if !a.Allow(0) {
+		t.Fatal("tenant 0 denied with zero frames held")
+	}
+	a.NoteFrame(0, +1)
+	a.NoteFrame(0, +1)
+	if a.Allow(0) {
+		t.Fatal("tenant 0 allowed at budget")
+	}
+	a.NoteFrame(0, -1)
+	if !a.Allow(0) {
+		t.Fatal("tenant 0 denied after releasing a frame")
+	}
+	// Unknown tenants are never throttled (solo hierarchies).
+	if !a.Allow(99) {
+		t.Fatal("unknown tenant denied")
+	}
+	a.ResetFrames()
+	if a.Frames(0) != 0 {
+		t.Fatalf("frames after ResetFrames = %d", a.Frames(0))
+	}
+}
+
+func TestArbiterDeterministic(t *testing.T) {
+	run := func() []int {
+		cfg := DefaultArbiterConfig(31)
+		a := newTestArbiter(t, cfg, 4)
+		a.Tick(0)
+		now := sim.Time(0)
+		rng := sim.NewRNG(3)
+		var trace []int
+		for epoch := 0; epoch < 20; epoch++ {
+			for i := 0; i < 200; i++ {
+				a.NoteHit(rng.Intn(4))
+			}
+			now = now.Add(cfg.Epoch)
+			a.Tick(now)
+			trace = append(trace, a.Budgets()...)
+		}
+		return trace
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("budget trajectories diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestArbiterConfigValidate(t *testing.T) {
+	bad := []ArbiterConfig{
+		{TotalFrames: 0, MinShare: 1, Epoch: 1, Smoothing: 0.5},
+		{TotalFrames: 4, MinShare: -1, Epoch: 1, Smoothing: 0.5},
+		{TotalFrames: 4, MinShare: 1, Epoch: 0, Smoothing: 0.5},
+		{TotalFrames: 4, MinShare: 1, Epoch: 1, Smoothing: 0},
+		{TotalFrames: 4, MinShare: 1, Epoch: 1, Smoothing: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := NewArbiter(cfg); err == nil {
+			t.Fatalf("config %d validated unexpectedly: %+v", i, cfg)
+		}
+	}
+}

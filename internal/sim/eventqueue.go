@@ -1,0 +1,92 @@
+package sim
+
+// EventQueue is the deterministic min-heap at the heart of the multi-tenant
+// co-scheduler: each entry is (wake-up time, actor id), and Pop always
+// returns the globally earliest entry, breaking time ties by the smaller
+// actor id. Because ordering depends only on the pushed values — never on
+// map iteration or insertion history — two runs that push the same entries
+// pop them in the same order, which is what makes interleaved multi-tenant
+// runs reproducible.
+//
+// The queue is not safe for concurrent use; like every simulation structure
+// in this repository it belongs to exactly one goroutine.
+type EventQueue struct {
+	items []queueItem
+}
+
+type queueItem struct {
+	at    Time
+	actor int
+}
+
+// less orders by time, then actor id, so ties are deterministic.
+func (a queueItem) less(b queueItem) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.actor < b.actor
+}
+
+// Len returns the number of queued entries.
+func (q *EventQueue) Len() int { return len(q.items) }
+
+// Push schedules actor to run at time at.
+func (q *EventQueue) Push(at Time, actor int) {
+	q.items = append(q.items, queueItem{at: at, actor: actor})
+	q.up(len(q.items) - 1)
+}
+
+// Peek returns the earliest entry without removing it; ok is false when the
+// queue is empty.
+func (q *EventQueue) Peek() (at Time, actor int, ok bool) {
+	if len(q.items) == 0 {
+		return 0, 0, false
+	}
+	return q.items[0].at, q.items[0].actor, true
+}
+
+// Pop removes and returns the earliest entry. It panics on an empty queue —
+// callers drive the loop with Len.
+func (q *EventQueue) Pop() (at Time, actor int) {
+	if len(q.items) == 0 {
+		panic("sim: Pop on empty EventQueue")
+	}
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items = q.items[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return top.at, top.actor
+}
+
+func (q *EventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.items[i].less(q.items[parent]) {
+			return
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *EventQueue) down(i int) {
+	n := len(q.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.items[l].less(q.items[smallest]) {
+			smallest = l
+		}
+		if r < n && q.items[r].less(q.items[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,92 @@
+package sim
+
+import "testing"
+
+func TestEventQueueOrders(t *testing.T) {
+	var q EventQueue
+	q.Push(30, 1)
+	q.Push(10, 2)
+	q.Push(20, 0)
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", q.Len())
+	}
+	want := []struct {
+		at    Time
+		actor int
+	}{{10, 2}, {20, 0}, {30, 1}}
+	for i, w := range want {
+		at, actor := q.Pop()
+		if at != w.at || actor != w.actor {
+			t.Fatalf("pop %d = (%d, %d), want (%d, %d)", i, at, actor, w.at, w.actor)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after draining, want 0", q.Len())
+	}
+}
+
+func TestEventQueueTieBreaksByActor(t *testing.T) {
+	var q EventQueue
+	for _, actor := range []int{5, 1, 3, 0, 4, 2} {
+		q.Push(100, actor)
+	}
+	for want := 0; q.Len() > 0; want++ {
+		at, actor := q.Pop()
+		if at != 100 || actor != want {
+			t.Fatalf("pop = (%d, %d), want (100, %d)", at, actor, want)
+		}
+	}
+}
+
+func TestEventQueueInterleavedPushPop(t *testing.T) {
+	var q EventQueue
+	q.Push(10, 0)
+	q.Push(50, 1)
+	if at, actor := q.Pop(); at != 10 || actor != 0 {
+		t.Fatalf("pop = (%d, %d), want (10, 0)", at, actor)
+	}
+	// Re-arm actor 0 later than actor 1: actor 1 must come first now.
+	q.Push(70, 0)
+	if at, actor, ok := q.Peek(); !ok || at != 50 || actor != 1 {
+		t.Fatalf("peek = (%d, %d, %v), want (50, 1, true)", at, actor, ok)
+	}
+	if at, actor := q.Pop(); at != 50 || actor != 1 {
+		t.Fatalf("pop = (%d, %d), want (50, 1)", at, actor)
+	}
+	if at, actor := q.Pop(); at != 70 || actor != 0 {
+		t.Fatalf("pop = (%d, %d), want (70, 0)", at, actor)
+	}
+	if _, _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty queue reported ok")
+	}
+}
+
+func TestEventQueueDeterministicUnderLoad(t *testing.T) {
+	run := func() []int {
+		var q EventQueue
+		rng := NewRNG(7)
+		for i := 0; i < 500; i++ {
+			q.Push(Time(rng.Intn(64)), i%8)
+		}
+		var order []int
+		prev := Time(-1)
+		for q.Len() > 0 {
+			at, actor := q.Pop()
+			if at < prev {
+				t.Fatalf("time went backwards: %d after %d", at, prev)
+			}
+			prev = at
+			order = append(order, int(at)<<3|actor)
+		}
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs disagree on length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package stats
+
+// JainFairness computes Jain's fairness index over a set of per-tenant
+// allocations or progress rates: (Σx)² / (n·Σx²). The index is 1.0 when all
+// tenants receive equal service and approaches 1/n when one tenant
+// monopolizes the device. The consolidation experiments feed it each
+// tenant's normalized progress (solo latency / shared latency), so a value
+// near 1 means the co-schedule slowed every tenant equally.
+//
+// Non-positive values contribute zero weight; an empty or all-zero input
+// returns 0.
+func JainFairness(xs []float64) float64 {
+	var sum, sumSq float64
+	n := 0
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		sum += x
+		sumSq += x * x
+		n++
+	}
+	if n == 0 || sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(n) * sumSq)
+}

@@ -1,0 +1,40 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJainFairnessEqual(t *testing.T) {
+	if f := JainFairness([]float64{2, 2, 2, 2}); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("equal allocations: fairness = %f, want 1", f)
+	}
+}
+
+func TestJainFairnessMonopoly(t *testing.T) {
+	// One tenant gets everything: index tends to 1/n.
+	f := JainFairness([]float64{10, 0.0001, 0.0001, 0.0001})
+	if f > 0.3 {
+		t.Fatalf("monopoly fairness = %f, want near 1/4", f)
+	}
+}
+
+func TestJainFairnessScaleInvariant(t *testing.T) {
+	a := JainFairness([]float64{1, 2, 3})
+	b := JainFairness([]float64{100, 200, 300})
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("fairness not scale invariant: %f vs %f", a, b)
+	}
+}
+
+func TestJainFairnessDegenerate(t *testing.T) {
+	if f := JainFairness(nil); f != 0 {
+		t.Fatalf("empty input: %f, want 0", f)
+	}
+	if f := JainFairness([]float64{0, -1}); f != 0 {
+		t.Fatalf("non-positive input: %f, want 0", f)
+	}
+	if f := JainFairness([]float64{5}); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("single tenant: %f, want 1", f)
+	}
+}

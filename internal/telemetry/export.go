@@ -35,6 +35,21 @@ func WriteChromeTrace(w io.Writer, t *Tracer, reg *Registry) error {
 		emit(`{"ph":"M","pid":0,"tid":%d,"name":"thread_name","args":{"name":"%s"}}`, tr, tr)
 		emit(`{"ph":"M","pid":0,"tid":%d,"name":"thread_sort_index","args":{"sort_index":%d}}`, tr, tr)
 	}
+	// Tenant tracks are dynamic: name whichever ones the spans actually use.
+	if t != nil {
+		seen := map[Track]bool{}
+		for _, s := range t.Spans() {
+			if s.Track >= numTracks && !seen[s.Track] {
+				seen[s.Track] = true
+			}
+		}
+		for i := int(numTracks); i < 256; i++ {
+			if tr := Track(i); seen[tr] {
+				emit(`{"ph":"M","pid":0,"tid":%d,"name":"thread_name","args":{"name":"%s"}}`, tr, tr)
+				emit(`{"ph":"M","pid":0,"tid":%d,"name":"thread_sort_index","args":{"sort_index":%d}}`, tr, tr)
+			}
+		}
+	}
 
 	if t != nil {
 		for _, s := range t.Spans() {

@@ -17,7 +17,11 @@
 // dumps diffable artifacts for regression hunting.
 package telemetry
 
-import "flatflash/internal/sim"
+import (
+	"fmt"
+
+	"flatflash/internal/sim"
+)
 
 // SpanKind identifies what a span or event measured. The taxonomy follows
 // the paper's component breakdown (Table 2): each kind corresponds to one
@@ -166,12 +170,27 @@ var trackNames = [numTracks]string{
 	TrackPromo: "promotion",
 }
 
-// String returns the track's display name.
+// String returns the track's display name. Tracks beyond the fixed set are
+// tenant CPU timelines from multi-tenant runs (see TenantTrack).
 func (t Track) String() string {
 	if int(t) < len(trackNames) {
 		return trackNames[t]
 	}
-	return "unknown"
+	return fmt.Sprintf("tenant%d-cpu", int(t)-int(numTracks)+1)
+}
+
+// TenantTrack returns the CPU critical-path track for tenant id in a
+// multi-tenant run. Tenant 0 is the hierarchy's own actor and keeps
+// TrackCPU; each additional tenant gets a dedicated dynamic track so
+// Perfetto renders one timeline per tenant and every span is labeled with
+// its tenant. Ids beyond the track space fold deterministically onto the
+// available dynamic tracks.
+func TenantTrack(id int) Track {
+	if id <= 0 {
+		return TrackCPU
+	}
+	span := 256 - int(numTracks)
+	return numTracks + Track((id-1)%span)
 }
 
 // Probe receives instrumentation callbacks from the simulator layers. All

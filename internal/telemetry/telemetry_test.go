@@ -268,3 +268,33 @@ func TestKindAndTrackNamesComplete(t *testing.T) {
 		}
 	}
 }
+
+func TestTenantTracks(t *testing.T) {
+	if got := TenantTrack(0); got != TrackCPU {
+		t.Fatalf("TenantTrack(0) = %v, want TrackCPU", got)
+	}
+	t1, t2 := TenantTrack(1), TenantTrack(2)
+	if t1 == t2 || t1 < numTracks || t2 < numTracks {
+		t.Fatalf("tenant tracks not distinct dynamic tracks: %d, %d", t1, t2)
+	}
+	if got, want := t1.String(), "tenant1-cpu"; got != want {
+		t.Fatalf("TenantTrack(1).String() = %q, want %q", got, want)
+	}
+	// Large ids fold onto the dynamic track space instead of colliding with
+	// the fixed hardware tracks.
+	if tr := TenantTrack(1000); tr < numTracks {
+		t.Fatalf("TenantTrack(1000) = %d collides with fixed tracks", tr)
+	}
+}
+
+func TestChromeTraceNamesTenantTracks(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Span(SpanAccess, TenantTrack(1), 0, 10, 64)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"name":"tenant1-cpu"`) {
+		t.Fatalf("trace metadata does not name the tenant track:\n%s", buf.String())
+	}
+}

@@ -136,3 +136,73 @@ func TestPTEOfInPlaceUpdate(t *testing.T) {
 		t.Fatal("in-place PTE update lost")
 	}
 }
+
+// TestTLBUnderConcurrentPromotionChurn models what the hierarchy does when
+// several promotions are in flight while accesses continue: a working set
+// larger than the TLB is translated while mappings flip between SSD and DRAM
+// (promotion completion) and back (eviction). The TLB must never serve a
+// stale location: every post-remap translation of a page must walk and see
+// the new PTE.
+func TestTLBUnderConcurrentPromotionChurn(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TLBEntries = 4
+	a, err := New(cfg, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vpn := uint64(0); vpn < 16; vpn++ {
+		a.Map(vpn, PTE{Loc: InSSD, SSDPage: uint32(vpn)})
+	}
+	rng := sim.NewRNG(9)
+	want := make([]PTE, 16)
+	for vpn := uint64(0); vpn < 16; vpn++ {
+		want[vpn] = PTE{Present: true, Loc: InSSD, SSDPage: uint32(vpn)}
+	}
+	for step := 0; step < 2000; step++ {
+		vpn := rng.Uint64n(16)
+		switch rng.Intn(3) {
+		case 0: // promotion completes: SSD -> DRAM
+			pte := PTE{Loc: InDRAM, Frame: int(vpn), SSDPage: uint32(vpn)}
+			a.UpdateMapping(vpn, pte)
+			pte.Present = true
+			want[vpn] = pte
+			// Immediately after a remap the TLB entry is gone: the next
+			// translation must walk.
+			got, lat, terr := a.Translate(vpn)
+			if terr != nil {
+				t.Fatal(terr)
+			}
+			if lat == 0 {
+				t.Fatalf("step %d: TLB served vpn %d across a remap", step, vpn)
+			}
+			if *got != want[vpn] {
+				t.Fatalf("step %d: stale PTE %+v, want %+v", step, *got, want[vpn])
+			}
+		case 1: // eviction: DRAM -> SSD
+			pte := PTE{Loc: InSSD, SSDPage: uint32(vpn)}
+			a.UpdateMapping(vpn, pte)
+			pte.Present = true
+			want[vpn] = pte
+		default: // plain access
+			got, _, terr := a.Translate(vpn)
+			if terr != nil {
+				t.Fatal(terr)
+			}
+			if *got != want[vpn] {
+				t.Fatalf("step %d: translation of vpn %d = %+v, want %+v", step, vpn, *got, want[vpn])
+			}
+		}
+	}
+	hits, misses, shootdowns := a.Stats()
+	if hits == 0 || misses == 0 || shootdowns == 0 {
+		t.Fatalf("churn did not exercise all paths: hits %d misses %d shootdowns %d", hits, misses, shootdowns)
+	}
+	// The TLB stayed within capacity the whole time: translating 5 distinct
+	// pages in sequence must evict the first.
+	for vpn := uint64(0); vpn < 5; vpn++ {
+		a.Translate(vpn)
+	}
+	if _, lat, _ := a.Translate(0); lat == 0 {
+		t.Fatal("TLB exceeded its capacity under churn")
+	}
+}

@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"testing"
+
+	"flatflash/internal/sim"
+)
+
+func TestMixesRegistered(t *testing.T) {
+	want := []string{"scan", "txlog", "uniform", "ycsb-b", "ycsb-d", "zipf"}
+	got := Mixes()
+	if len(got) != len(want) {
+		t.Fatalf("Mixes() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Mixes() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNewStreamErrors(t *testing.T) {
+	if _, err := NewStream("nope", sim.NewRNG(1), 1<<20); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+	if _, err := NewStream("zipf", sim.NewRNG(1), RecordBytes-1); err == nil {
+		t.Fatal("sub-record region accepted")
+	}
+}
+
+func TestStreamsDeterministicAndInBounds(t *testing.T) {
+	const region = 1 << 20
+	for _, name := range Mixes() {
+		run := func(seed uint64) []AccessOp {
+			s, err := NewStream(name, sim.NewRNG(seed), region)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			ops := make([]AccessOp, 500)
+			for i := range ops {
+				ops[i] = s.Next()
+			}
+			return ops
+		}
+		a, b := run(7), run(7)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: op %d differs across same-seed runs: %+v vs %+v", name, i, a[i], b[i])
+			}
+			if a[i].Off+uint64(a[i].Len) > region {
+				t.Fatalf("%s: op %d out of bounds: %+v", name, i, a[i])
+			}
+			if a[i].Len != RecordBytes {
+				t.Fatalf("%s: op %d length %d", name, i, a[i].Len)
+			}
+			if a[i].Barrier && !a[i].Write {
+				t.Fatalf("%s: op %d barrier on a read", name, i)
+			}
+		}
+	}
+}
+
+func TestMixPersistentOnlyForBarrierMixes(t *testing.T) {
+	const region = 1 << 20
+	for _, name := range Mixes() {
+		s, err := NewStream(name, sim.NewRNG(3), region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		barriers := false
+		for i := 0; i < 1000; i++ {
+			if s.Next().Barrier {
+				barriers = true
+				break
+			}
+		}
+		if barriers != MixPersistent(name) {
+			t.Fatalf("%s: barriers=%v but MixPersistent=%v", name, barriers, MixPersistent(name))
+		}
+	}
+	if MixPersistent("nope") {
+		t.Fatal("unknown mix reported persistent")
+	}
+}
+
+func TestScanIsSequential(t *testing.T) {
+	s, err := NewStream("scan", sim.NewRNG(1), 4*RecordBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		op := s.Next()
+		if want := uint64(i%4) * RecordBytes; op.Off != want {
+			t.Fatalf("scan op %d at %d, want %d", i, op.Off, want)
+		}
+		if op.Write {
+			t.Fatalf("scan op %d is a write", i)
+		}
+	}
+}
+
+func TestTxlogAlternatesReadCommit(t *testing.T) {
+	s, err := NewStream("txlog", sim.NewRNG(1), 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := uint64(1<<16) / RecordBytes / 2 * RecordBytes
+	for i := 0; i < 100; i++ {
+		read := s.Next()
+		if read.Write || read.Off >= half {
+			t.Fatalf("op %d: want data-half read, got %+v", 2*i, read)
+		}
+		commit := s.Next()
+		if !commit.Write || !commit.Barrier || commit.Off < half {
+			t.Fatalf("op %d: want log-half commit, got %+v", 2*i+1, commit)
+		}
+	}
+}

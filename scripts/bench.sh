@@ -1,0 +1,40 @@
+#!/bin/sh
+# Runs the full benchmark suite and distills it into BENCH_3.json:
+# a {benchmark name: {ns_per_op, allocs_per_op}} map for diffing across
+# commits. The raw `go test -bench` output streams to the terminal.
+set -eu
+
+out=${1:-BENCH_3.json}
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -bench=. -benchmem -run='^$' ./... | tee "$raw"
+
+awk -v out="$out" '
+$1 ~ /^Benchmark/ && $3 == "ns/op" || ($4 == "ns/op") {
+    # Lines look like: BenchmarkName-8  1234  567 ns/op  89 B/op  4 allocs/op
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    if (ns != "") {
+        if (allocs == "") allocs = 0
+        names[++n] = name
+        nsof[name] = ns
+        allocsof[name] = allocs
+    }
+}
+END {
+    printf "{\n" > out
+    for (i = 1; i <= n; i++) {
+        name = names[i]
+        printf "  \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            name, nsof[name], allocsof[name], (i < n ? "," : "") >> out
+    }
+    printf "}\n" >> out
+}' "$raw"
+
+echo "bench: wrote $out"

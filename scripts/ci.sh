@@ -20,6 +20,11 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== go test -shuffle=on =="
+# Randomized test order catches inter-test state leaks (package-level caches,
+# shared tmp files) that a fixed order can hide.
+go test -shuffle=on ./...
+
 echo "== fuzz smoke =="
 # Short seeded-corpus-plus-mutation runs; a regression in the parsers shows
 # up here long before anyone runs the fuzzers by hand.
