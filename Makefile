@@ -25,7 +25,7 @@ race:
 	go test -race ./...
 
 bench:
-	./scripts/bench.sh BENCH_3.json
+	./scripts/bench.sh BENCH_4.json
 
 fuzz:
 	go test -fuzz=FuzzParse -fuzztime=10s -run=^$$ ./internal/trace

@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -65,7 +67,19 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON file covering all runs")
 	metricsOut := flag.String("metrics-out", "", "write epoch-sampled metrics as JSON Lines")
 	metricsEp := flag.Duration("metrics-epoch", time.Millisecond, "virtual-time metrics sampling epoch")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment runs to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile taken after the runs to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			check(f.Close())
+		}()
+	}
 
 	if *list {
 		for _, d := range experiments.Describe() {
@@ -128,6 +142,13 @@ func main() {
 		check(reg.WriteJSONL(f))
 		check(f.Close())
 		fmt.Printf("metrics: %d epochs -> %s\n", len(reg.Rows()), *metricsOut)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		check(err)
+		runtime.GC() // settle the heap so the profile shows live allocations
+		check(pprof.WriteHeapProfile(f))
+		check(f.Close())
 	}
 }
 

@@ -40,9 +40,36 @@ type pagingHierarchy struct {
 	scratch  []byte
 	crashed  bool
 
-	c     *stats.Counters
-	probe telemetry.Probe
-	reg   *telemetry.Registry
+	c   *stats.Counters
+	hot baselineHot
+	// Registry counter cells: dead boxes until Instrument attaches a
+	// registry, matching the nil registry's no-op Add.
+	regAccesses stats.Handle
+	regFaults   stats.Handle
+	probe       telemetry.Probe
+	reg         *telemetry.Registry
+}
+
+// baselineHot pre-resolves the counters the baselines' fault-and-access loop
+// increments (see hotCounters; same stats.Handle visibility contract).
+type baselineHot struct {
+	faults, pageMovements      stats.Handle
+	dramReads, dramWrites      stats.Handle
+	evictions, evictWritebacks stats.Handle
+	writebackFailures          stats.Handle
+	syncPageWrites, syncCalls  stats.Handle
+}
+
+func (h *baselineHot) resolve(c *stats.Counters) {
+	h.faults = c.Handle("faults")
+	h.pageMovements = c.Handle("page_movements")
+	h.dramReads = c.Handle("dram_reads")
+	h.dramWrites = c.Handle("dram_writes")
+	h.evictions = c.Handle("evictions")
+	h.evictWritebacks = c.Handle("evict_writebacks")
+	h.writebackFailures = c.Handle("writeback_failures")
+	h.syncPageWrites = c.Handle("sync_page_writes")
+	h.syncCalls = c.Handle("sync_calls")
 }
 
 // NewUnifiedMMap builds the FlashMap-style baseline.
@@ -81,7 +108,7 @@ func newPaging(cfg Config, name string, metaOverhead float64, faultCost, syncCos
 	if err != nil {
 		return nil, err
 	}
-	return &pagingHierarchy{
+	p := &pagingHierarchy{
 		name:      name,
 		cfg:       cfg,
 		clock:     sim.NewClock(),
@@ -94,7 +121,11 @@ func newPaging(cfg Config, name string, metaOverhead float64, faultCost, syncCos
 		vpnOfFrm:  make(map[int]uint64),
 		scratch:   make([]byte, cfg.PageSize),
 		c:         stats.NewCounters(),
-	}, nil
+	}
+	p.hot.resolve(p.c)
+	p.regAccesses = new(int64)
+	p.regFaults = new(int64)
+	return p, nil
 }
 
 // Name implements Hierarchy.
@@ -121,6 +152,8 @@ func (p *pagingHierarchy) Instrument(probe telemetry.Probe, reg *telemetry.Regis
 	reg.RegisterGauge("write_amplification", p.ftl.WriteAmplification)
 	reg.RegisterRate("faults", func() int64 { return p.c.Get("faults") })
 	reg.RegisterRate("accesses", func() int64 { return p.reg.Get("accesses") })
+	p.regAccesses = reg.CounterHandle("accesses")
+	p.regFaults = reg.CounterHandle("faults")
 }
 
 // Now implements Hierarchy.
@@ -177,16 +210,36 @@ func (p *pagingHierarchy) access(addr uint64, buf []byte, isWrite bool) (sim.Dur
 		return 0, ErrCrashed
 	}
 	start := p.clock.Now()
-	err := chunker(addr, buf, p.cfg.PageSize, p.cfg.CacheLineSize, func(vpn uint64, off int, b []byte) error {
-		return p.accessChunk(vpn, off, b, isWrite)
-	})
-	if err != nil {
-		return 0, err
+	total := len(buf)
+	ps, ls := p.cfg.PageSize, p.cfg.CacheLineSize
+	// Inline chunk split (page then cache-line boundaries): same chunk
+	// sequence as the old chunker callback, without the closure allocation.
+	for len(buf) > 0 {
+		vpn := addr / uint64(ps)
+		off := int(addr % uint64(ps))
+		n := ps - off
+		if n > len(buf) {
+			n = len(buf)
+		}
+		seg := buf[:n]
+		for len(seg) > 0 {
+			cn := ls - off%ls
+			if cn > len(seg) {
+				cn = len(seg)
+			}
+			if err := p.accessChunk(vpn, off, seg[:cn], isWrite); err != nil {
+				return 0, err
+			}
+			off += cn
+			seg = seg[cn:]
+		}
+		addr += uint64(n)
+		buf = buf[n:]
 	}
 	if p.probe != nil {
-		p.probe.Span(telemetry.SpanAccess, telemetry.TrackCPU, start, p.clock.Now(), int64(len(buf)))
+		p.probe.Span(telemetry.SpanAccess, telemetry.TrackCPU, start, p.clock.Now(), int64(total))
 	}
-	p.reg.Add("accesses", 1)
+	*p.regAccesses++
 	p.reg.Tick(p.clock.Now())
 	return p.clock.Now().Sub(start), nil
 }
@@ -222,9 +275,9 @@ func (p *pagingHierarchy) accessChunk(vpn uint64, off int, b []byte, isWrite boo
 		upd := p.as.UpdateMapping(vpn, vm.PTE{Loc: vm.InDRAM, Frame: frame, SSDPage: pte.SSDPage})
 		p.vpnOfFrm[frame] = vpn
 		now = done.Add(upd)
-		p.c.Add("faults", 1)
-		p.c.Add("page_movements", 1)
-		p.reg.Add("faults", 1)
+		*p.hot.faults++
+		*p.hot.pageMovements++
+		*p.regFaults++
 		if p.probe != nil {
 			p.probe.Span(telemetry.SpanPageFault, telemetry.TrackCPU, faultStart, now, int64(pte.SSDPage))
 		}
@@ -239,10 +292,10 @@ func (p *pagingHierarchy) accessChunk(vpn uint64, off int, b []byte, isWrite boo
 	if isWrite {
 		copy(data[off:], b)
 		pte.Dirty = true
-		p.c.Add("dram_writes", 1)
+		*p.hot.dramWrites++
 	} else {
 		copy(b, data[off:off+len(b)])
-		p.c.Add("dram_reads", 1)
+		*p.hot.dramReads++
 	}
 	if p.probe != nil {
 		p.probe.Span(telemetry.SpanDRAM, telemetry.TrackCPU, now, now.Add(lat), int64(pte.Frame))
@@ -272,16 +325,16 @@ func (p *pagingHierarchy) allocFrame(now sim.Time) (int, sim.Time, bool) {
 		data, _ := p.dram.Data(victim)
 		now = p.link.DMAPage(now)
 		if _, err := p.ftl.WritePage(now, pte.SSDPage, data); err != nil {
-			p.c.Add("writeback_failures", 1)
+			*p.hot.writebackFailures++
 		}
-		p.c.Add("evict_writebacks", 1)
-		p.c.Add("page_movements", 1)
+		*p.hot.evictWritebacks++
+		*p.hot.pageMovements++
 	}
 	// Unmapping the victim requires a synchronous TLB shootdown before its
 	// frame can be reused; the faulting thread waits for it.
 	upd := p.as.UpdateMapping(vpn, vm.PTE{Loc: vm.InSSD, SSDPage: pte.SSDPage})
 	now = now.Add(upd)
-	p.c.Add("evictions", 1)
+	*p.hot.evictions++
 	delete(p.vpnOfFrm, victim)
 	p.dram.Release(victim)
 	f, err := p.dram.Alloc()
@@ -340,12 +393,12 @@ func (p *pagingHierarchy) SyncPages(addr uint64, n int) (sim.Duration, error) {
 		if done > last {
 			last = done
 		}
-		p.c.Add("sync_page_writes", 1)
+		*p.hot.syncPageWrites++
 	}
 	if last > now {
 		now = last
 	}
-	p.c.Add("sync_calls", 1)
+	*p.hot.syncCalls++
 	if p.probe != nil {
 		p.probe.Span(telemetry.SpanSync, telemetry.TrackCPU, start, now, int64(n))
 	}
@@ -365,7 +418,7 @@ func (p *pagingHierarchy) Drain() {
 		data, _ := p.dram.Data(frame)
 		p.link.DMAPage(now)
 		if _, err := p.ftl.WritePage(now, pte.SSDPage, data); err != nil {
-			p.c.Add("writeback_failures", 1)
+			*p.hot.writebackFailures++
 		}
 		pte.Dirty = false
 	}

@@ -52,7 +52,65 @@ type FlatFlash struct {
 	probe telemetry.Probe     // nil when telemetry is disabled
 	reg   *telemetry.Registry // nil when metrics are disabled
 
-	c *stats.Counters
+	c   *stats.Counters
+	hot hotCounters
+	// regAccesses is the registry's "accesses" counter cell. Until
+	// Instrument attaches a registry it is a dead box, matching the nil
+	// registry's no-op Add.
+	regAccesses stats.Handle
+}
+
+// forceSlowPath disables the bulk DRAM fast path process-wide; the golden-
+// equivalence tests flip it to prove both paths produce byte-identical
+// output. Set it only before driving accesses (it is not synchronized).
+var forceSlowPath bool
+
+// SetForceSlowPath turns the process-wide slow-path override on or off.
+// Test-only; see forceSlowPath.
+func SetForceSlowPath(on bool) { forceSlowPath = on }
+
+// hotCounters holds pre-resolved cells (stats.Handle) for every counter the
+// access path increments, resolved once at construction so the hot loop does
+// one pointer add instead of a map lookup per event. Visibility follows
+// stats.Handle's nonzero rule, which matches Add-created counters exactly
+// because all of these increments are positive.
+type hotCounters struct {
+	dramReads, dramWrites         stats.Handle
+	plbRedirects                  stats.Handle
+	mmioReads, mmioWrites         stats.Handle
+	hostcacheHits                 stats.Handle
+	ssdcacheHits, ssdcacheMisses  stats.Handle
+	cacheWritebacks               stats.Handle
+	writebackFailures             stats.Handle
+	promotions, promotionsSkipped stats.Handle
+	promotionCompletions          stats.Handle
+	pageMovements                 stats.Handle
+	evictions, evictWritebacks    stats.Handle
+	persistBarriers, persistLines stats.Handle
+	syncPageTransfers, syncCalls  stats.Handle
+}
+
+func (h *hotCounters) resolve(c *stats.Counters) {
+	h.dramReads = c.Handle("dram_reads")
+	h.dramWrites = c.Handle("dram_writes")
+	h.plbRedirects = c.Handle("plb_redirects")
+	h.mmioReads = c.Handle("mmio_reads")
+	h.mmioWrites = c.Handle("mmio_writes")
+	h.hostcacheHits = c.Handle("hostcache_hits")
+	h.ssdcacheHits = c.Handle("ssdcache_hits")
+	h.ssdcacheMisses = c.Handle("ssdcache_misses")
+	h.cacheWritebacks = c.Handle("cache_writebacks")
+	h.writebackFailures = c.Handle("writeback_failures")
+	h.promotions = c.Handle("promotions")
+	h.promotionsSkipped = c.Handle("promotions_skipped")
+	h.promotionCompletions = c.Handle("promotion_completions")
+	h.pageMovements = c.Handle("page_movements")
+	h.evictions = c.Handle("evictions")
+	h.evictWritebacks = c.Handle("evict_writebacks")
+	h.persistBarriers = c.Handle("persist_barriers")
+	h.persistLines = c.Handle("persist_lines")
+	h.syncPageTransfers = c.Handle("sync_page_transfers")
+	h.syncCalls = c.Handle("sync_calls")
 }
 
 // NewFlatFlash builds the FlatFlash hierarchy from cfg.
@@ -129,6 +187,8 @@ func NewFlatFlash(cfg Config) (*FlatFlash, error) {
 		scratch:   make([]byte, cfg.PageSize),
 		c:         stats.NewCounters(),
 	}
+	s.hot.resolve(s.c)
+	s.regAccesses = new(int64)
 	s.self = &Tenant{s: s, id: 0, as: as, clock: s.clock, track: telemetry.TrackCPU}
 	s.tenants = []*Tenant{s.self}
 	return s, nil
@@ -201,6 +261,7 @@ func (s *FlatFlash) Instrument(probe telemetry.Probe, reg *telemetry.Registry) {
 	reg.RegisterGauge("write_amplification", s.ftl.WriteAmplification)
 	reg.RegisterRate("promotions", func() int64 { return s.c.Get("promotions") })
 	reg.RegisterRate("accesses", func() int64 { return s.reg.Get("accesses") })
+	s.regAccesses = reg.CounterHandle("accesses")
 }
 
 // Advance implements Hierarchy.
@@ -256,27 +317,109 @@ func (s *FlatFlash) Write(addr uint64, data []byte) (sim.Duration, error) {
 // accessFor services one byte-granular access on behalf of tenant t,
 // advancing t's clock by the latency t's thread observes and pulling the
 // device frontier (s.clock) up to it.
+//
+// The access is split at page boundaries; each page segment is either bulk-
+// serviced by fastDRAMSpan or split further at cache-line boundaries through
+// accessChunkFor — the chunk sequence is identical to the old chunker
+// callback, without the per-access closure allocation.
 func (s *FlatFlash) accessFor(t *Tenant, addr uint64, buf []byte, isWrite bool) (sim.Duration, error) {
 	if s.crashed {
 		return 0, ErrCrashed
 	}
 	start := t.clock.Now()
-	err := chunker(addr, buf, s.cfg.PageSize, s.cfg.CacheLineSize, func(vpn uint64, off int, b []byte) error {
-		return s.accessChunkFor(t, vpn, off, b, isWrite)
-	})
-	if err != nil {
-		return 0, err
+	total := len(buf)
+	ps, ls := s.cfg.PageSize, s.cfg.CacheLineSize
+	fastOK := !s.cfg.DisableFastPath && !forceSlowPath && s.faults == nil
+	for len(buf) > 0 {
+		vpn := addr / uint64(ps)
+		off := int(addr % uint64(ps))
+		n := ps - off
+		if n > len(buf) {
+			n = len(buf)
+		}
+		if !(fastOK && s.plb.Pending() == 0 && s.fastDRAMSpan(t, vpn, off, buf[:n], isWrite)) {
+			seg := buf[:n]
+			for len(seg) > 0 {
+				cn := ls - off%ls
+				if cn > len(seg) {
+					cn = len(seg)
+				}
+				if err := s.accessChunkFor(t, vpn, off, seg[:cn], isWrite); err != nil {
+					return 0, err
+				}
+				off += cn
+				seg = seg[cn:]
+			}
+		}
+		addr += uint64(n)
+		buf = buf[n:]
 	}
 	if s.probe != nil {
-		s.probe.Span(telemetry.SpanAccess, t.track, start, t.clock.Now(), int64(len(buf)))
+		s.probe.Span(telemetry.SpanAccess, t.track, start, t.clock.Now(), int64(total))
 	}
 	s.clock.AdvanceTo(t.clock.Now())
 	if s.arb != nil {
 		s.arb.Tick(s.clock.Now())
 	}
-	s.reg.Add("accesses", 1)
+	*s.regAccesses++
 	s.reg.Tick(s.clock.Now())
 	return t.clock.Now().Sub(start), nil
+}
+
+// fastDRAMSpan bulk-services one page segment when the page is DRAM-resident
+// and nothing can interleave: no fault engine (checkCrash is a no-op) and no
+// in-flight promotion (completePromotions and the PLB lookup are no-ops,
+// checked by the caller). It reproduces the slow path's per-line effects
+// exactly — TLB hit/miss sequence, DRAM LRU and access counts, counters,
+// telemetry spans, clock advance — with one copy and one clock update, so
+// output stays byte-identical. Returns false (having done nothing) when the
+// conditions do not hold and the caller must take the per-chunk path.
+func (s *FlatFlash) fastDRAMSpan(t *Tenant, vpn uint64, off int, seg []byte, isWrite bool) bool {
+	pte := t.as.Peek(vpn)
+	if pte == nil || pte.Loc != vm.InDRAM {
+		return false
+	}
+	now := t.clock.Now()
+	// First line's translation is real (may miss); the remaining lines of
+	// the same page always hit with the entry already at MRU.
+	_, tLat, err := t.as.Translate(vpn)
+	if err != nil {
+		return false
+	}
+	ls := s.cfg.CacheLineSize
+	lines := int64((off+len(seg)-1)/ls - off/ls + 1)
+	t.as.CreditRepeatHits(lines - 1)
+	if tLat > 0 && s.probe != nil {
+		s.probe.Span(telemetry.SpanTranslate, t.track, now, now.Add(tLat), int64(vpn))
+	}
+	now = now.Add(tLat)
+	lat, derr := s.dram.TouchN(pte.Frame, lines)
+	if derr != nil {
+		return false
+	}
+	data, _ := s.dram.Data(pte.Frame)
+	if isWrite {
+		copy(data[off:], seg)
+		pte.Dirty = true
+		*s.hot.dramWrites += lines
+	} else {
+		copy(seg, data[off:off+len(seg)])
+		*s.hot.dramReads += lines
+	}
+	t.dramHits += lines
+	if s.arb != nil {
+		s.arb.NoteHits(t.id, lines)
+	}
+	if s.probe != nil {
+		for i := int64(0); i < lines; i++ {
+			s.probe.Span(telemetry.SpanDRAM, t.track, now, now.Add(lat), int64(pte.Frame))
+			now = now.Add(lat)
+		}
+	} else {
+		now = now.Add(lat * sim.Duration(lines))
+	}
+	t.clock.AdvanceTo(now)
+	return true
 }
 
 // accessChunkFor services one sub-cache-line access to one page of tenant
@@ -306,10 +449,10 @@ func (s *FlatFlash) accessChunkFor(t *Tenant, vpn uint64, off int, b []byte, isW
 		if isWrite {
 			copy(data[off:], b)
 			pte.Dirty = true
-			s.c.Add("dram_writes", 1)
+			*s.hot.dramWrites++
 		} else {
 			copy(b, data[off:off+len(b)])
-			s.c.Add("dram_reads", 1)
+			*s.hot.dramReads++
 		}
 		t.dramHits++
 		if s.arb != nil {
@@ -327,7 +470,7 @@ func (s *FlatFlash) accessChunkFor(t *Tenant, vpn uint64, off int, b []byte, isW
 	// In-flight promotion? The PLB redirects (Figure 4).
 	switch s.plb.Access(now, lpn, off, b, isWrite) {
 	case plb.RouteDRAM:
-		s.c.Add("plb_redirects", 1)
+		*s.hot.plbRedirects++
 		if s.probe != nil {
 			s.probe.Span(telemetry.SpanPLBRedirect, t.track, now, now.Add(s.cfg.DRAMLat), int64(lpn))
 		}
@@ -335,7 +478,7 @@ func (s *FlatFlash) accessChunkFor(t *Tenant, vpn uint64, off int, b []byte, isW
 		return nil
 	case plb.RouteSSD:
 		done := s.link.MMIORead(now, pte.Persist)
-		s.c.Add("mmio_reads", 1)
+		*s.hot.mmioReads++
 		t.clock.AdvanceTo(done)
 		return nil
 	}
@@ -346,7 +489,7 @@ func (s *FlatFlash) accessChunkFor(t *Tenant, vpn uint64, off int, b []byte, isW
 	// Direct byte-granular SSD access over PCIe MMIO.
 	if isWrite {
 		hostDone, outcome := s.link.MMIOWriteChecked(now, pte.Persist)
-		s.c.Add("mmio_writes", 1)
+		*s.hot.mmioWrites++
 		if outcome == fault.WriteDropped {
 			// The posted packet was lost in the fabric: the SSD never sees
 			// the store. Posted writes are fire-and-forget, so the CPU
@@ -383,7 +526,7 @@ func (s *FlatFlash) accessChunkFor(t *Tenant, vpn uint64, off int, b []byte, isW
 	if s.hostCache != nil {
 		if data, ok := s.hostCache.lookup(lpn, line); ok {
 			copy(b, data[off-lineStart:off-lineStart+len(b)])
-			s.c.Add("hostcache_hits", 1)
+			*s.hot.hostcacheHits++
 			if s.probe != nil {
 				s.probe.Span(telemetry.SpanHostCacheHit, t.track, now, now.Add(s.cfg.HostCacheLatency), int64(lpn))
 			}
@@ -400,7 +543,7 @@ func (s *FlatFlash) accessChunkFor(t *Tenant, vpn uint64, off int, b []byte, isW
 	if s.hostCache != nil && !pte.Persist {
 		s.hostCache.fill(lpn, line, e.Data[lineStart:lineStart+s.cfg.CacheLineSize])
 	}
-	s.c.Add("mmio_reads", 1)
+	*s.hot.mmioReads++
 	s.countHit(hit)
 	s.maybePromote(t, now, vpn, lpn, pte, e)
 	t.clock.AdvanceTo(done)
@@ -409,9 +552,9 @@ func (s *FlatFlash) accessChunkFor(t *Tenant, vpn uint64, off int, b []byte, isW
 
 func (s *FlatFlash) countHit(hit bool) {
 	if hit {
-		s.c.Add("ssdcache_hits", 1)
+		*s.hot.ssdcacheHits++
 	} else {
-		s.c.Add("ssdcache_misses", 1)
+		*s.hot.ssdcacheMisses++
 	}
 }
 
@@ -447,9 +590,9 @@ func (s *FlatFlash) ensureCachedFor(t *Tenant, now sim.Time, lpn uint32) (*ssdca
 			if _, werr := s.ftl.WritePage(done, victim.LPN, victim.Data); werr != nil {
 				// Device full; the data stays only in the cache copy we
 				// just dropped — surface loudly in counters.
-				s.c.Add("writeback_failures", 1)
+				*s.hot.writebackFailures++
 			}
-			s.c.Add("cache_writebacks", 1)
+			*s.hot.cacheWritebacks++
 		}
 	}
 	return e, done, false
@@ -479,7 +622,7 @@ func (s *FlatFlash) maybePromote(t *Tenant, now sim.Time, vpn uint64, lpn uint32
 	}
 	frame, ok := s.allocFrameFor(t, now)
 	if !ok {
-		s.c.Add("promotions_skipped", 1)
+		*s.hot.promotionsSkipped++
 		return
 	}
 	v, ok := s.cach.Remove(lpn)
@@ -495,7 +638,7 @@ func (s *FlatFlash) maybePromote(t *Tenant, now sim.Time, vpn uint64, lpn uint32
 		s.dram.Release(frame)
 		re, _, _ := s.cach.Insert(lpn, v.Data, v.Dirty)
 		re.Owner = t.id
-		s.c.Add("promotions_skipped", 1)
+		*s.hot.promotionsSkipped++
 		return
 	}
 	s.trackFrame(frame, pageRef{t: t, vpn: vpn})
@@ -505,8 +648,8 @@ func (s *FlatFlash) maybePromote(t *Tenant, now sim.Time, vpn uint64, lpn uint32
 		s.hostCache.invalidatePage(lpn, s.cfg.PageSize/s.cfg.CacheLineSize)
 	}
 	t.promotions++
-	s.c.Add("promotions", 1)
-	s.c.Add("page_movements", 1)
+	*s.hot.promotions++
+	*s.hot.pageMovements++
 	s.link.DMAPage(now) // the promotion's page transfer occupies the link
 }
 
@@ -515,7 +658,7 @@ func (s *FlatFlash) maybePromote(t *Tenant, now sim.Time, vpn uint64, lpn uint32
 func (s *FlatFlash) promoteStalling(t *Tenant, now sim.Time, vpn uint64, lpn uint32) {
 	frame, ok := s.allocFrameFor(t, now)
 	if !ok {
-		s.c.Add("promotions_skipped", 1)
+		*s.hot.promotionsSkipped++
 		return
 	}
 	v, ok := s.cach.Remove(lpn)
@@ -533,8 +676,8 @@ func (s *FlatFlash) promoteStalling(t *Tenant, now sim.Time, vpn uint64, lpn uin
 	upd := t.as.UpdateMapping(vpn, vm.PTE{Loc: vm.InDRAM, Frame: frame, SSDPage: lpn, Dirty: v.Dirty})
 	s.trackFrame(frame, pageRef{t: t, vpn: vpn})
 	t.promotions++
-	s.c.Add("promotions", 1)
-	s.c.Add("page_movements", 1)
+	*s.hot.promotions++
+	*s.hot.pageMovements++
 	if s.probe != nil {
 		s.probe.Span(telemetry.SpanPromotionStall, t.track, now, now.Add(s.cfg.PLB.PromotionLatency).Add(upd), int64(lpn))
 	}
@@ -592,11 +735,11 @@ func (s *FlatFlash) evictFrame(frame int, now sim.Time) {
 		data, _ := s.dram.Data(frame)
 		s.link.DMAPage(now)
 		s.writeBackToCache(now, lpn, data, ref.t.id)
-		s.c.Add("evict_writebacks", 1)
-		s.c.Add("page_movements", 1)
+		*s.hot.evictWritebacks++
+		*s.hot.pageMovements++
 	}
 	ref.t.as.UpdateMapping(ref.vpn, vm.PTE{Loc: vm.InSSD, SSDPage: lpn, Persist: pte.Persist})
-	s.c.Add("evictions", 1)
+	*s.hot.evictions++
 	s.untrackFrame(frame)
 	s.dram.Release(frame)
 }
@@ -641,9 +784,9 @@ func (s *FlatFlash) writeBackToCache(now sim.Time, lpn uint32, data []byte, owne
 		}
 		if victim.Dirty {
 			if _, err := s.ftl.WritePage(now, victim.LPN, victim.Data); err != nil {
-				s.c.Add("writeback_failures", 1)
+				*s.hot.writebackFailures++
 			}
-			s.c.Add("cache_writebacks", 1)
+			*s.hot.cacheWritebacks++
 		}
 	}
 }
@@ -663,7 +806,7 @@ func (s *FlatFlash) completePromotions(now sim.Time) {
 		ref.t.as.UpdateMapping(ref.vpn, vm.PTE{Loc: vm.InDRAM, Frame: c.Frame, SSDPage: c.LPN, Dirty: c.Dirty})
 		s.dram.Unpin(c.Frame)
 		s.trackFrame(c.Frame, ref)
-		s.c.Add("promotion_completions", 1)
+		*s.hot.promotionCompletions++
 	}
 }
 

@@ -47,8 +47,8 @@ func (s *FlatFlash) persistFor(t *Tenant, addr uint64, size int) (sim.Duration, 
 	// Write-verify read: a non-posted MMIO read that drains all posted
 	// writes ahead of it in the host bridge.
 	now = s.link.MMIORead(now, true)
-	s.c.Add("persist_barriers", 1)
-	s.c.Add("persist_lines", int64(lines))
+	*s.hot.persistBarriers++
+	*s.hot.persistLines += int64(lines)
 	if s.probe != nil {
 		s.probe.Span(telemetry.SpanPersist, t.track, start, now, int64(lines))
 	}
@@ -88,12 +88,12 @@ func (s *FlatFlash) syncPagesFor(t *Tenant, addr uint64, n int) (sim.Duration, e
 			now = s.link.DMAPage(now)
 			s.writeBackToCache(now, pte.SSDPage, data, t.id)
 			pte.Dirty = false
-			s.c.Add("sync_page_transfers", 1)
+			*s.hot.syncPageTransfers++
 		}
 	}
 	// One ordering read at the end.
 	now = s.link.MMIORead(now, true)
-	s.c.Add("sync_calls", 1)
+	*s.hot.syncCalls++
 	if s.probe != nil {
 		s.probe.Span(telemetry.SpanSync, t.track, start, now, int64(n))
 	}
@@ -129,7 +129,7 @@ func (s *FlatFlash) Drain() {
 	for _, lpn := range s.cach.DirtyPages() {
 		if data, ok := s.cach.TakeDirty(lpn); ok {
 			if _, err := s.ftl.WritePage(now, lpn, data); err != nil {
-				s.c.Add("writeback_failures", 1)
+				*s.hot.writebackFailures++
 			}
 		}
 	}

@@ -5,7 +5,6 @@
 package dram
 
 import (
-	"container/list"
 	"errors"
 	"fmt"
 
@@ -39,16 +38,24 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// DRAM is the host memory.
+// DRAM is the host memory. Frames are small dense integers, so the LRU list
+// is intrusive: prev/next arrays indexed by frame replace container/list and
+// its per-node allocations, and page buffers are retained across
+// Release/Alloc cycles (re-zeroed on Alloc) so steady-state promotion and
+// eviction churn allocates nothing.
 type DRAM struct {
 	cfg    Config
-	frames [][]byte
+	frames [][]byte // lazily created, retained after Release for reuse
 	free   []int
 
-	lru      *list.List            // front = most recent; holds unpinned, allocated frames
-	elem     map[int]*list.Element // frame -> lru element
-	pinned   map[int]bool
-	accesses int64
+	// Intrusive LRU over allocated, unpinned frames. head is MRU, tail LRU;
+	// -1 terminates. inList[f] says whether f is linked.
+	prev, next []int32
+	head, tail int32
+	inList     []bool
+	pinned     []bool
+	allocd     []bool
+	accesses   int64
 }
 
 // New builds DRAM with all frames free.
@@ -59,9 +66,13 @@ func New(cfg Config) (*DRAM, error) {
 	d := &DRAM{
 		cfg:    cfg,
 		frames: make([][]byte, cfg.Frames),
-		lru:    list.New(),
-		elem:   make(map[int]*list.Element),
-		pinned: make(map[int]bool),
+		prev:   make([]int32, cfg.Frames),
+		next:   make([]int32, cfg.Frames),
+		head:   -1,
+		tail:   -1,
+		inList: make([]bool, cfg.Frames),
+		pinned: make([]bool, cfg.Frames),
+		allocd: make([]bool, cfg.Frames),
 	}
 	for i := cfg.Frames - 1; i >= 0; i-- {
 		d.free = append(d.free, i)
@@ -75,6 +86,33 @@ func (d *DRAM) Config() Config { return d.cfg }
 // FreeFrames returns the number of unallocated frames.
 func (d *DRAM) FreeFrames() int { return len(d.free) }
 
+func (d *DRAM) detach(f int32) {
+	p, n := d.prev[f], d.next[f]
+	if p >= 0 {
+		d.next[p] = n
+	} else {
+		d.head = n
+	}
+	if n >= 0 {
+		d.prev[n] = p
+	} else {
+		d.tail = p
+	}
+	d.inList[f] = false
+}
+
+func (d *DRAM) pushFront(f int32) {
+	d.prev[f] = -1
+	d.next[f] = d.head
+	if d.head >= 0 {
+		d.prev[d.head] = f
+	} else {
+		d.tail = f
+	}
+	d.head = f
+	d.inList[f] = true
+}
+
 // Alloc takes a free frame (zeroed) and places it at the MRU position.
 func (d *DRAM) Alloc() (int, error) {
 	if len(d.free) == 0 {
@@ -82,8 +120,13 @@ func (d *DRAM) Alloc() (int, error) {
 	}
 	f := d.free[len(d.free)-1]
 	d.free = d.free[:len(d.free)-1]
-	d.frames[f] = make([]byte, d.cfg.PageSize)
-	d.elem[f] = d.lru.PushFront(f)
+	if d.frames[f] == nil {
+		d.frames[f] = make([]byte, d.cfg.PageSize)
+	} else {
+		clear(d.frames[f])
+	}
+	d.allocd[f] = true
+	d.pushFront(int32(f))
 	return f, nil
 }
 
@@ -92,18 +135,17 @@ func (d *DRAM) Release(f int) error {
 	if err := d.check(f); err != nil {
 		return err
 	}
-	if e, ok := d.elem[f]; ok {
-		d.lru.Remove(e)
-		delete(d.elem, f)
+	if d.inList[f] {
+		d.detach(int32(f))
 	}
-	delete(d.pinned, f)
-	d.frames[f] = nil
+	d.pinned[f] = false
+	d.allocd[f] = false
 	d.free = append(d.free, f)
 	return nil
 }
 
 func (d *DRAM) check(f int) error {
-	if f < 0 || f >= d.cfg.Frames || d.frames[f] == nil {
+	if f < 0 || f >= d.cfg.Frames || !d.allocd[f] {
 		return ErrBadFrame
 	}
 	return nil
@@ -120,13 +162,21 @@ func (d *DRAM) Data(f int) ([]byte, error) {
 // Touch records a use of frame f (moves it to MRU) and returns the
 // cache-line access latency to charge.
 func (d *DRAM) Touch(f int) (sim.Duration, error) {
+	return d.TouchN(f, 1)
+}
+
+// TouchN records n back-to-back cache-line uses of frame f with one LRU
+// update — the bulk-span fast path's replacement for n Touch calls — and
+// returns the per-line access latency.
+func (d *DRAM) TouchN(f int, n int64) (sim.Duration, error) {
 	if err := d.check(f); err != nil {
 		return 0, err
 	}
-	if e, ok := d.elem[f]; ok {
-		d.lru.MoveToFront(e)
+	if d.inList[f] && int32(f) != d.head {
+		d.detach(int32(f))
+		d.pushFront(int32(f))
 	}
-	d.accesses++
+	d.accesses += n
 	return d.cfg.AccessLatency, nil
 }
 
@@ -135,9 +185,8 @@ func (d *DRAM) Pin(f int) error {
 	if err := d.check(f); err != nil {
 		return err
 	}
-	if e, ok := d.elem[f]; ok {
-		d.lru.Remove(e)
-		delete(d.elem, f)
+	if d.inList[f] {
+		d.detach(int32(f))
 	}
 	d.pinned[f] = true
 	return nil
@@ -151,19 +200,18 @@ func (d *DRAM) Unpin(f int) error {
 	if !d.pinned[f] {
 		return nil
 	}
-	delete(d.pinned, f)
-	d.elem[f] = d.lru.PushFront(f)
+	d.pinned[f] = false
+	d.pushFront(int32(f))
 	return nil
 }
 
 // EvictCandidate returns the least-recently-used unpinned frame, without
 // releasing it; the caller writes it back and then calls Release.
 func (d *DRAM) EvictCandidate() (int, bool) {
-	e := d.lru.Back()
-	if e == nil {
+	if d.tail < 0 {
 		return -1, false
 	}
-	return e.Value.(int), true
+	return int(d.tail), true
 }
 
 // EvictCandidateWhere returns the least-recently-used unpinned frame that
@@ -171,13 +219,13 @@ func (d *DRAM) EvictCandidate() (int, bool) {
 // multi-tenant DRAM arbiter uses it to reclaim a frame from one specific
 // tenant (the one over its budget) without disturbing the others.
 func (d *DRAM) EvictCandidateWhere(keep func(frame int) bool) (int, bool) {
-	for e := d.lru.Back(); e != nil; e = e.Prev() {
-		if f := e.Value.(int); keep(f) {
-			return f, true
+	for f := d.tail; f >= 0; f = d.prev[f] {
+		if keep(int(f)) {
+			return int(f), true
 		}
 	}
 	return -1, false
 }
 
-// Accesses returns the number of Touch calls.
+// Accesses returns the number of cache-line accesses recorded by Touch.
 func (d *DRAM) Accesses() int64 { return d.accesses }

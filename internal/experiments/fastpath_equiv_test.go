@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"flatflash/internal/core"
+)
+
+// renderQuick runs one experiment at Quick scale and returns its rendered
+// report bytes.
+func renderQuick(t *testing.T, run func(Scale) []*Report) string {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, r := range run(Quick) {
+		r.Print(&buf)
+	}
+	return buf.String()
+}
+
+// TestFastPathExperimentEquivalence is the end-to-end determinism contract:
+// every experiment report must be byte-identical whether the bulk DRAM-span
+// fast path is enabled (the default) or forced off. fig8 covers the access
+// latency sweep across all three systems, fig9a the GUPS kernel where the
+// fast path dominates, and consolidate the multi-tenant co-scheduler.
+func TestFastPathExperimentEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs each experiment twice")
+	}
+	cases := []struct {
+		name string
+		run  func(Scale) []*Report
+	}{
+		{"fig8", Fig8},
+		{"fig9a", func(s Scale) []*Report { return []*Report{Fig9a(s)} }},
+		{"consolidate", func(s Scale) []*Report { return []*Report{Consolidate(s)} }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			fast := renderQuick(t, tc.run)
+			core.SetForceSlowPath(true)
+			defer core.SetForceSlowPath(false)
+			slow := renderQuick(t, tc.run)
+			if fast != slow {
+				t.Errorf("%s report differs between fast and slow paths:\nfast:\n%s\nslow:\n%s",
+					tc.name, fast, slow)
+			}
+		})
+	}
+}

@@ -99,6 +99,12 @@ type PLB struct {
 	nLines  int
 	probe   telemetry.Probe // nil when telemetry is disabled
 
+	// pending counts valid entries and nextDeadline is the earliest deadline
+	// among them, so Expired — polled on every access — is a two-compare
+	// no-op while nothing can have completed, instead of an entry scan.
+	pending      int
+	nextDeadline sim.Time
+
 	started, completed, droppedInbound, redirectedStores int64
 	lookups, routed                                      int64
 	aborted                                              int64
@@ -170,7 +176,12 @@ func (p *PLB) Start(now sim.Time, lpn uint32, frame int, src, dst []byte, srcDir
 	if slot == nil {
 		return ErrFull
 	}
-	snap := make([]byte, p.cfg.PageSize)
+	// Reuse the slot's snapshot buffer from its previous flight; every byte
+	// is overwritten by the copy below.
+	snap := slot.src
+	if snap == nil {
+		snap = make([]byte, p.cfg.PageSize)
+	}
 	copy(snap, src)
 	*slot = entry{
 		valid:    true,
@@ -183,6 +194,10 @@ func (p *PLB) Start(now sim.Time, lpn uint32, frame int, src, dst []byte, srcDir
 		dst:      dst,
 		dirty:    srcDirty,
 	}
+	if p.pending == 0 || slot.deadline.Before(p.nextDeadline) {
+		p.nextDeadline = slot.deadline
+	}
+	p.pending++
 	p.started++
 	if p.probe != nil {
 		p.probe.Span(telemetry.SpanPromotion, telemetry.TrackPromo, now, slot.deadline, int64(lpn))
@@ -272,10 +287,47 @@ func (p *PLB) Access(now sim.Time, lpn uint32, off int, buf []byte, isStore bool
 	return RouteSSD
 }
 
+// Pending reports how many promotions are currently in flight. The
+// hierarchy's bulk fast path requires zero: with nothing in flight, skipping
+// the per-line PLB lookups is an exact no-op.
+func (p *PLB) Pending() int { return p.pending }
+
+// clearEntry invalidates e but keeps its snapshot buffer for the slot's next
+// flight.
+func (p *PLB) clearEntry(e *entry) {
+	src := e.src
+	*e = entry{}
+	e.src = src
+	p.pending--
+}
+
+// retarget recomputes the earliest deadline among remaining flights after
+// completions freed entries.
+func (p *PLB) retarget() {
+	if p.pending == 0 {
+		return
+	}
+	first := true
+	for i := range p.entries {
+		e := &p.entries[i]
+		if !e.valid {
+			continue
+		}
+		if first || e.deadline.Before(p.nextDeadline) {
+			p.nextDeadline = e.deadline
+			first = false
+		}
+	}
+}
+
 // Expired finalizes every promotion whose deadline has passed: remaining
 // lines are copied into the frame, the entry is freed for reuse, and a
-// Completion is returned so the caller can update the PTE and TLB.
+// Completion is returned so the caller can update the PTE and TLB. While no
+// deadline has been reached it returns nil without scanning the entries.
 func (p *PLB) Expired(now sim.Time) []Completion {
+	if p.pending == 0 || p.nextDeadline.After(now) {
+		return nil
+	}
 	var out []Completion
 	for i := range p.entries {
 		e := &p.entries[i]
@@ -287,9 +339,10 @@ func (p *PLB) Expired(now sim.Time) []Completion {
 		if p.probe != nil {
 			p.probe.Event(telemetry.EvPromoteComplete, telemetry.TrackPromo, e.deadline, int64(e.lpn))
 		}
-		*e = entry{}
+		p.clearEntry(e)
 		p.completed++
 	}
+	p.retarget()
 	return out
 }
 
@@ -307,7 +360,7 @@ func (p *PLB) Flush(now sim.Time) []Completion {
 		if p.probe != nil {
 			p.probe.Event(telemetry.EvPromoteComplete, telemetry.TrackPromo, e.deadline.Max(now), int64(e.lpn))
 		}
-		*e = entry{}
+		p.clearEntry(e)
 		p.completed++
 	}
 	return out
@@ -333,7 +386,7 @@ func (p *PLB) AbortAll() []Aborted {
 			continue
 		}
 		out = append(out, Aborted{LPN: e.lpn, Frame: e.frame})
-		*e = entry{}
+		p.clearEntry(e)
 		p.aborted++
 	}
 	return out

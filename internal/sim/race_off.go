@@ -1,0 +1,8 @@
+//go:build !race
+
+package sim
+
+// RaceEnabled reports whether the binary was built with the race detector.
+// Allocation-budget tests skip under it: race instrumentation adds heap
+// allocations that are not the simulator's.
+const RaceEnabled = false

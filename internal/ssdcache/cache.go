@@ -78,6 +78,11 @@ type Entry struct {
 }
 
 // Victim is a page displaced from the cache.
+//
+// Data aliases the displaced entry's buffer, which the cache recycles:
+// it is valid only until the next Insert on the same cache. Callers that
+// need it longer (none of the simulator's do — write-back and PLB snapshot
+// both copy synchronously) must copy it out.
 type Victim struct {
 	LPN     uint32
 	Dirty   bool
@@ -94,6 +99,11 @@ type Cache struct {
 
 	probe telemetry.Probe // nil when telemetry is disabled
 	now   func() sim.Time // clock source for event timestamps
+
+	// spare is a recycled page buffer: Remove and eviction stash the
+	// displaced entry's buffer here and the next Insert reuses it, so
+	// steady-state cache churn allocates nothing (see Victim.Data).
+	spare []byte
 
 	hits, misses, evictions, dirtyEvicts int64
 }
@@ -204,7 +214,18 @@ func (c *Cache) Insert(lpn uint32, data []byte, dirty bool) (e *Entry, victim Vi
 		}
 	}
 	c.tick++
-	buf := make([]byte, c.cfg.PageSize)
+	// Reuse the spare buffer from an earlier displacement. data may alias it
+	// (Remove followed by re-Insert of the removed page); the copy below is
+	// then a harmless self-copy. The evicted buffer, handed out through
+	// victim, becomes the spare for the next Insert.
+	buf := c.spare
+	c.spare = nil
+	if buf == nil {
+		buf = make([]byte, c.cfg.PageSize)
+	}
+	if evicted {
+		c.spare = victim.Data
+	}
 	copy(buf, data)
 	set[way] = Entry{
 		Valid:   true,
@@ -252,6 +273,9 @@ func (c *Cache) Remove(lpn uint32) (Victim, bool) {
 		if e.Valid && e.LPN == lpn {
 			v := Victim{LPN: e.LPN, Dirty: e.Dirty, PageCnt: e.PageCnt, Data: e.Data}
 			*e = Entry{}
+			// The removed buffer is recycled by the next Insert; until then
+			// the caller may read v.Data (PLB snapshot, stall-copy).
+			c.spare = v.Data
 			return v, true
 		}
 	}

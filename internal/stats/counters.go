@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Handle is a pre-resolved counter cell: one add through the pointer replaces
+// a map hash + lookup per event on the simulator's hot path. Resolve once at
+// build time with Counters.Handle and increment with *h += n.
+//
+// Handle-backed counters are folded into Names/Snapshot/String/Merge only
+// once their value is nonzero. Hot-path events only ever add positive deltas,
+// so "nonzero" coincides exactly with "touched", and reports stay
+// byte-identical to map-backed counting (a counter existed iff an event
+// happened). Do not use a Handle for a counter that must stay visible at a
+// value of zero (e.g. one seeded with Add(name, 0)); use Add for those.
+type Handle = *int64
+
+// Counters is an ordered set of named int64 counters. Experiments use it to
+// report page movements, I/O traffic, cache hits, and flash wear.
+//
+// Counters created by Add are "dynamic": visible from the first Add call, in
+// first-use order, even at zero. Counters registered with Handle are visible
+// only while nonzero (see Handle). Add on a handle-registered name promotes
+// it to dynamic, preserving Add's created-iff-called semantics for mixed use.
+type Counters struct {
+	order  []string          // first-use order of dynamic counters
+	vals   map[string]*int64 // dynamic counters (always visible)
+	hOrder []string          // registration order of handle-only counters
+	hVals  map[string]*int64 // handle-only counters (visible when nonzero)
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{vals: make(map[string]*int64)}
+}
+
+// Handle returns the pre-resolved cell for name, registering it if needed.
+// If name already exists as a dynamic counter, the same cell is returned and
+// the counter keeps its always-visible semantics.
+func (c *Counters) Handle(name string) Handle {
+	if p, ok := c.vals[name]; ok {
+		return p
+	}
+	if p, ok := c.hVals[name]; ok {
+		return p
+	}
+	if c.hVals == nil {
+		c.hVals = make(map[string]*int64)
+	}
+	p := new(int64)
+	c.hVals[name] = p
+	c.hOrder = append(c.hOrder, name)
+	return p
+}
+
+// Add increments counter name by delta, creating it if needed.
+func (c *Counters) Add(name string, delta int64) {
+	if p, ok := c.vals[name]; ok {
+		*p += delta
+		return
+	}
+	p, ok := c.hVals[name]
+	if ok {
+		// An explicit Add makes the counter permanently visible: promote the
+		// cell to dynamic so outstanding Handles keep pointing at it.
+		delete(c.hVals, name)
+		for i, n := range c.hOrder {
+			if n == name {
+				c.hOrder = append(c.hOrder[:i], c.hOrder[i+1:]...)
+				break
+			}
+		}
+	} else {
+		p = new(int64)
+	}
+	c.vals[name] = p
+	c.order = append(c.order, name)
+	*p += delta
+}
+
+// Get returns the value of a counter (zero if absent).
+func (c *Counters) Get(name string) int64 {
+	if p, ok := c.vals[name]; ok {
+		return *p
+	}
+	if p, ok := c.hVals[name]; ok {
+		return *p
+	}
+	return 0
+}
+
+// Names returns visible counter names: dynamic counters in first-use order,
+// then touched handle counters in registration order.
+func (c *Counters) Names() []string {
+	out := make([]string, 0, len(c.order)+len(c.hOrder))
+	out = append(out, c.order...)
+	for _, n := range c.hOrder {
+		if *c.hVals[n] != 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// KV is one counter in a Snapshot.
+type KV struct {
+	Name  string
+	Value int64
+}
+
+// Snapshot returns all visible counters sorted by name. The deterministic
+// order makes experiment reports and telemetry dumps byte-stable across runs
+// regardless of counter creation order.
+func (c *Counters) Snapshot() []KV {
+	out := make([]KV, 0, len(c.order)+len(c.hOrder))
+	for _, n := range c.order {
+		out = append(out, KV{Name: n, Value: *c.vals[n]})
+	}
+	for _, n := range c.hOrder {
+		if v := *c.hVals[n]; v != 0 {
+			out = append(out, KV{Name: n, Value: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Merge adds all visible counters of other into c in sorted name order, so
+// the merged first-use order is deterministic whatever order other was built
+// in.
+func (c *Counters) Merge(other *Counters) {
+	for _, kv := range other.Snapshot() {
+		c.Add(kv.Name, kv.Value)
+	}
+}
+
+// String renders "name=value" pairs space-separated in Names order.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for i, n := range c.Names() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", n, c.Get(n))
+	}
+	return b.String()
+}

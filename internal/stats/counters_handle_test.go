@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestHandleInvisibleAtZero(t *testing.T) {
+	c := NewCounters()
+	h := c.Handle("hot")
+	if got := c.Names(); len(got) != 0 {
+		t.Fatalf("untouched handle counter visible: %v", got)
+	}
+	if got := c.Snapshot(); len(got) != 0 {
+		t.Fatalf("untouched handle counter in snapshot: %v", got)
+	}
+	if s := c.String(); s != "" {
+		t.Fatalf("String() = %q, want empty", s)
+	}
+	*h += 3
+	if got := c.Get("hot"); got != 3 {
+		t.Fatalf("Get = %d, want 3", got)
+	}
+	if got := c.Names(); !reflect.DeepEqual(got, []string{"hot"}) {
+		t.Fatalf("Names = %v, want [hot]", got)
+	}
+	if s := c.String(); s != "hot=3" {
+		t.Fatalf("String() = %q, want hot=3", s)
+	}
+}
+
+func TestHandleOrdering(t *testing.T) {
+	c := NewCounters()
+	hb := c.Handle("b")
+	ha := c.Handle("a")
+	c.Add("dyn", 0) // dynamic counters are visible even at zero
+	*ha += 1
+	*hb += 1
+	// Dynamic counters first in first-use order, then touched handles in
+	// registration order.
+	want := []string{"dyn", "b", "a"}
+	if got := c.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names = %v, want %v", got, want)
+	}
+	// Snapshot is sorted by name regardless.
+	snap := c.Snapshot()
+	if len(snap) != 3 || snap[0].Name != "a" || snap[1].Name != "b" || snap[2].Name != "dyn" {
+		t.Fatalf("Snapshot = %v", snap)
+	}
+}
+
+func TestAddPromotesHandleCounter(t *testing.T) {
+	c := NewCounters()
+	h := c.Handle("x")
+	c.Add("x", 0)
+	// Promoted: now visible even at zero, like any Add-created counter.
+	if got := c.Names(); !reflect.DeepEqual(got, []string{"x"}) {
+		t.Fatalf("Names after promote = %v, want [x]", got)
+	}
+	// The outstanding handle must still point at the live cell.
+	*h += 5
+	if got := c.Get("x"); got != 5 {
+		t.Fatalf("Get after handle add = %d, want 5", got)
+	}
+	c.Add("x", 2)
+	if got := c.Get("x"); got != 7 {
+		t.Fatalf("Get after Add = %d, want 7", got)
+	}
+	if len(c.Snapshot()) != 1 {
+		t.Fatalf("promoted counter double-counted: %v", c.Snapshot())
+	}
+}
+
+func TestHandleOnDynamicCounter(t *testing.T) {
+	c := NewCounters()
+	c.Add("y", 1)
+	h := c.Handle("y")
+	*h += 2
+	if got := c.Get("y"); got != 3 {
+		t.Fatalf("Get = %d, want 3", got)
+	}
+	// Still dynamic: visible even if it returns to zero.
+	*h -= 3
+	if got := c.Names(); !reflect.DeepEqual(got, []string{"y"}) {
+		t.Fatalf("dynamic counter hidden at zero: %v", got)
+	}
+}
+
+func TestHandleSameCell(t *testing.T) {
+	c := NewCounters()
+	h1 := c.Handle("z")
+	h2 := c.Handle("z")
+	if h1 != h2 {
+		t.Fatal("repeated Handle calls returned different cells")
+	}
+}
+
+func TestMergeIncludesHandleCounters(t *testing.T) {
+	a := NewCounters()
+	b := NewCounters()
+	hTouched := b.Handle("touched")
+	b.Handle("untouched")
+	*hTouched += 4
+	b.Add("dyn", 1)
+	a.Merge(b)
+	if got := a.Get("touched"); got != 4 {
+		t.Fatalf("merged touched = %d, want 4", got)
+	}
+	if got := a.Get("dyn"); got != 1 {
+		t.Fatalf("merged dyn = %d, want 1", got)
+	}
+	for _, n := range a.Names() {
+		if n == "untouched" {
+			t.Fatal("untouched handle counter leaked through Merge")
+		}
+	}
+}

@@ -7,8 +7,6 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
-	"strings"
 
 	"flatflash/internal/sim"
 )
@@ -166,72 +164,4 @@ func (h *Histogram) Summary() string {
 		h.Count(), h.Mean(), h.Percentile(50), h.Percentile(99), h.Max())
 }
 
-// Counters is an ordered set of named int64 counters. Experiments use it to
-// report page movements, I/O traffic, cache hits, and flash wear.
-type Counters struct {
-	order []string
-	vals  map[string]int64
-}
-
-// NewCounters returns an empty counter set.
-func NewCounters() *Counters {
-	return &Counters{vals: make(map[string]int64)}
-}
-
-// Add increments counter name by delta, creating it if needed.
-func (c *Counters) Add(name string, delta int64) {
-	if _, ok := c.vals[name]; !ok {
-		c.order = append(c.order, name)
-	}
-	c.vals[name] += delta
-}
-
-// Get returns the value of a counter (zero if absent).
-func (c *Counters) Get(name string) int64 { return c.vals[name] }
-
-// Names returns counter names in first-use order.
-func (c *Counters) Names() []string {
-	out := make([]string, len(c.order))
-	copy(out, c.order)
-	return out
-}
-
-// KV is one counter in a Snapshot.
-type KV struct {
-	Name  string
-	Value int64
-}
-
-// Snapshot returns all counters sorted by name. The deterministic order
-// makes experiment reports and telemetry dumps byte-stable across runs
-// regardless of counter creation order.
-func (c *Counters) Snapshot() []KV {
-	out := make([]KV, 0, len(c.order))
-	for _, n := range c.order {
-		out = append(out, KV{Name: n, Value: c.vals[n]})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
-}
-
-// Merge adds all counters of other into c in sorted name order, so the
-// merged first-use order is deterministic whatever order other was built in.
-func (c *Counters) Merge(other *Counters) {
-	names := other.Names()
-	sort.Strings(names)
-	for _, n := range names {
-		c.Add(n, other.vals[n])
-	}
-}
-
-// String renders "name=value" pairs space-separated in first-use order.
-func (c *Counters) String() string {
-	var b strings.Builder
-	for i, n := range c.order {
-		if i > 0 {
-			b.WriteByte(' ')
-		}
-		fmt.Fprintf(&b, "%s=%d", n, c.vals[n])
-	}
-	return b.String()
-}
+// Counters lives in counters.go.

@@ -128,6 +128,17 @@ func (r *Registry) Add(name string, delta int64) {
 	r.counters.Add(name, delta)
 }
 
+// CounterHandle returns a pre-resolved cell for a registry counter, so hot
+// paths can increment it with one pointer add instead of a map lookup (see
+// stats.Handle for the visibility contract). On a nil registry it returns a
+// dead cell: increments land nowhere, matching Add's nil no-op.
+func (r *Registry) CounterHandle(name string) stats.Handle {
+	if r == nil {
+		return new(int64)
+	}
+	return r.counters.Handle(name)
+}
+
 // Get returns a counter value (0 on nil registry or absent counter).
 func (r *Registry) Get(name string) int64 {
 	if r == nil {

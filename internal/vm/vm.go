@@ -7,7 +7,6 @@
 package vm
 
 import (
-	"container/list"
 	"errors"
 	"fmt"
 
@@ -144,6 +143,25 @@ func (a *AddressSpace) Translate(vpn uint64) (*PTE, sim.Duration, error) {
 	return &a.pages[vpn], a.cfg.WalkLatency, nil
 }
 
+// Peek returns vpn's entry without touching the TLB or charging any
+// latency — a side-effect-free probe the hierarchy's bulk fast path uses to
+// decide whether a span is fully DRAM-resident before committing to it. It
+// returns nil for unmapped pages.
+func (a *AddressSpace) Peek(vpn uint64) *PTE {
+	if vpn >= uint64(len(a.pages)) || !a.pages[vpn].Present {
+		return nil
+	}
+	return &a.pages[vpn]
+}
+
+// CreditRepeatHits accounts n further translations of the page Translate
+// just resolved. Repeat accesses to the same VPN always hit the TLB with the
+// entry already at the MRU position, so the only architectural effect is the
+// hit count — this records it without n map lookups.
+func (a *AddressSpace) CreditRepeatHits(n int64) {
+	a.tlbHits += n
+}
+
 // UpdateMapping changes where vpn points (promotion completion or DRAM
 // eviction) and invalidates its TLB entry. It returns the PTE/TLB update
 // cost (Table 2's 1.4 µs), which the caller charges on or off the critical
@@ -164,42 +182,101 @@ func (a *AddressSpace) Stats() (tlbHits, tlbMisses, shootdowns int64) {
 // MappedPages returns how many VPNs have been handed out by Reserve.
 func (a *AddressSpace) MappedPages() uint64 { return a.next }
 
-// tlb is a fully associative LRU TLB.
+// tlb is a fully associative exact-LRU TLB, laid out as an intrusive
+// doubly-linked list over preallocated slot arrays so that lookups, inserts,
+// and evictions are allocation-free at steady state (the slot map reuses its
+// buckets once warmed). Exact LRU — not CLOCK — keeps hit/miss sequences,
+// and therefore every latency and counter downstream, byte-identical to the
+// original container/list implementation.
 type tlb struct {
-	cap  int
-	lru  *list.List
-	elem map[uint64]*list.Element
+	slot map[uint64]int32 // vpn -> slot index
+	vpns []uint64         // slot -> vpn
+	prev []int32          // toward MRU; -1 at head
+	next []int32          // toward LRU; -1 at tail
+	head int32            // MRU slot, -1 when empty
+	tail int32            // LRU slot, -1 when empty
+	free []int32          // unused slot stack
 }
 
 func newTLB(capacity int) *tlb {
-	return &tlb{cap: capacity, lru: list.New(), elem: make(map[uint64]*list.Element)}
+	t := &tlb{
+		slot: make(map[uint64]int32, capacity),
+		vpns: make([]uint64, capacity),
+		prev: make([]int32, capacity),
+		next: make([]int32, capacity),
+		head: -1,
+		tail: -1,
+		free: make([]int32, capacity),
+	}
+	for i := range t.free {
+		t.free[i] = int32(capacity - 1 - i) // pop order 0,1,2,... as list fills
+	}
+	return t
+}
+
+func (t *tlb) detach(i int32) {
+	p, n := t.prev[i], t.next[i]
+	if p >= 0 {
+		t.next[p] = n
+	} else {
+		t.head = n
+	}
+	if n >= 0 {
+		t.prev[n] = p
+	} else {
+		t.tail = p
+	}
+}
+
+func (t *tlb) pushFront(i int32) {
+	t.prev[i] = -1
+	t.next[i] = t.head
+	if t.head >= 0 {
+		t.prev[t.head] = i
+	} else {
+		t.tail = i
+	}
+	t.head = i
 }
 
 func (t *tlb) lookup(vpn uint64) bool {
-	e, ok := t.elem[vpn]
+	i, ok := t.slot[vpn]
 	if !ok {
 		return false
 	}
-	t.lru.MoveToFront(e)
+	if i != t.head {
+		t.detach(i)
+		t.pushFront(i)
+	}
 	return true
 }
 
 func (t *tlb) insert(vpn uint64) {
-	if e, ok := t.elem[vpn]; ok {
-		t.lru.MoveToFront(e)
+	if i, ok := t.slot[vpn]; ok {
+		if i != t.head {
+			t.detach(i)
+			t.pushFront(i)
+		}
 		return
 	}
-	if t.lru.Len() >= t.cap {
-		back := t.lru.Back()
-		t.lru.Remove(back)
-		delete(t.elem, back.Value.(uint64))
+	var i int32
+	if n := len(t.free); n > 0 {
+		i = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		i = t.tail // evict LRU
+		t.detach(i)
+		delete(t.slot, t.vpns[i])
 	}
-	t.elem[vpn] = t.lru.PushFront(vpn)
+	t.vpns[i] = vpn
+	t.slot[vpn] = i
+	t.pushFront(i)
 }
 
 func (t *tlb) invalidate(vpn uint64) {
-	if e, ok := t.elem[vpn]; ok {
-		t.lru.Remove(e)
-		delete(t.elem, vpn)
+	if i, ok := t.slot[vpn]; ok {
+		t.detach(i)
+		delete(t.slot, vpn)
+		t.free = append(t.free, i)
 	}
 }

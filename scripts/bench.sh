@@ -1,10 +1,19 @@
 #!/bin/sh
-# Runs the full benchmark suite and distills it into BENCH_3.json:
+# Runs the full benchmark suite and distills it into a BENCH_*.json file:
 # a {benchmark name: {ns_per_op, allocs_per_op}} map for diffing across
-# commits. The raw `go test -bench` output streams to the terminal.
+# commits (see scripts/benchdiff.sh). The raw `go test -bench` output
+# streams to the terminal.
+#
+# The output name comes from the single argument; `make bench` passes the
+# current snapshot name (BENCH_4.json), which is also the default here so a
+# bare ./scripts/bench.sh writes the same file the Makefile would.
 set -eu
 
-out=${1:-BENCH_3.json}
+if [ $# -gt 1 ]; then
+    echo "usage: $0 [output.json]" >&2
+    exit 2
+fi
+out=${1:-BENCH_4.json}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 

@@ -1,0 +1,64 @@
+#!/bin/sh
+# Diffs two BENCH_*.json snapshots written by scripts/bench.sh and prints
+# per-benchmark ns/op and allocs/op deltas:
+#
+#   ./scripts/benchdiff.sh BENCH_3.json BENCH_4.json
+#
+# Negative percentages are improvements. Benchmarks present in only one
+# snapshot are listed as added/removed.
+set -eu
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 OLD.json NEW.json" >&2
+    exit 2
+fi
+old=$1
+new=$2
+[ -f "$old" ] || { echo "benchdiff: no such file: $old" >&2; exit 2; }
+[ -f "$new" ] || { echo "benchdiff: no such file: $new" >&2; exit 2; }
+
+awk -v oldfile="$old" -v newfile="$new" '
+# Each data line of a snapshot looks like:
+#   "BenchmarkName": {"ns_per_op": 123.4, "allocs_per_op": 5},
+/"ns_per_op"/ {
+    line = $0
+    gsub(/[",{}]/, " ", line)
+    n = split(line, f, /[[:space:]:]+/)
+    name = ""; ns = ""; allocs = ""
+    for (i = 1; i <= n; i++) {
+        if (f[i] ~ /^Benchmark/) name = f[i]
+        if (f[i] == "ns_per_op") ns = f[i + 1]
+        if (f[i] == "allocs_per_op") allocs = f[i + 1]
+    }
+    if (name == "") next
+    if (FILENAME == oldfile) {
+        oldns[name] = ns; oldallocs[name] = allocs
+        if (!(name in seen)) { seen[name] = 1; order[++count] = name }
+    } else {
+        newns[name] = ns; newallocs[name] = allocs
+        if (!(name in seen)) { seen[name] = 1; order[++count] = name }
+    }
+}
+END {
+    printf "%-45s %12s %12s %8s %10s %10s %8s\n", \
+        "benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta"
+    for (i = 1; i <= count; i++) {
+        name = order[i]
+        if (!(name in oldns)) {
+            printf "%-45s %12s %12s %8s %10s %10s %8s\n", \
+                name, "-", newns[name], "added", "-", newallocs[name], "added"
+            continue
+        }
+        if (!(name in newns)) {
+            printf "%-45s %12s %12s %8s %10s %10s %8s\n", \
+                name, oldns[name], "-", "removed", oldallocs[name], "-", "removed"
+            continue
+        }
+        nsdelta = (oldns[name] > 0) ? sprintf("%+.1f%%", 100 * (newns[name] - oldns[name]) / oldns[name]) : "n/a"
+        adelta = (oldallocs[name] > 0) \
+            ? sprintf("%+.1f%%", 100 * (newallocs[name] - oldallocs[name]) / oldallocs[name]) \
+            : (newallocs[name] > 0 ? "+new" : "=")
+        printf "%-45s %12s %12s %8s %10s %10s %8s\n", \
+            name, oldns[name], newns[name], nsdelta, oldallocs[name], newallocs[name], adelta
+    }
+}' "$old" "$new"

@@ -25,6 +25,11 @@ echo "== go test -shuffle=on =="
 # shared tmp files) that a fixed order can hide.
 go test -shuffle=on ./...
 
+echo "== bench smoke =="
+# One iteration of every benchmark: catches benchmarks that no longer build
+# or crash (the allocation-budget tests ride the normal test passes above).
+go test -bench=. -benchtime=1x -run='^$' ./...
+
 echo "== fuzz smoke =="
 # Short seeded-corpus-plus-mutation runs; a regression in the parsers shows
 # up here long before anyone runs the fuzzers by hand.
