@@ -3,10 +3,15 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: ci fmt vet build test race bench fuzz crashsweep
+.PHONY: ci fmt vet lint build test race bench fuzz crashsweep
 
 ci:
 	./scripts/ci.sh
+
+# Static enforcement of determinism / virtual-time / hot-path invariants
+# (walltime, seededrand, mapiter, hotalloc, probenil — see DESIGN.md).
+lint:
+	go run ./cmd/flatflash-lint ./...
 
 fmt:
 	@out=$$(gofmt -l $(GOFILES)); \

@@ -1,0 +1,88 @@
+// Package analyzertest runs one analyzer over fixture packages and checks
+// its diagnostics against // want "regexp" comments — the same contract as
+// golang.org/x/tools/go/analysis/analysistest, rebuilt on the hermetic
+// loader. Fixtures live under testdata/src, which carries its own go.mod
+// (module flatflash) so `go list` resolves fixture-local imports like
+// flatflash/internal/telemetry to the stubs beside them.
+package analyzertest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"flatflash/internal/analyzers"
+	"flatflash/internal/analyzers/load"
+)
+
+var wantRE = regexp.MustCompile(`want "((?:[^"\\]|\\.)*)"`)
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads each fixture package (an import path under testdata/src),
+// applies the analyzer through the real driver — so //lint:ignore
+// suppression and package allowlists behave exactly as in the CLI — and
+// requires the diagnostics to line up one-to-one with want comments.
+func Run(t *testing.T, a *analyzers.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	targets, err := load.Packages("testdata/src", pkgPaths)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", pkgPaths, err)
+	}
+	if len(targets) != len(pkgPaths) {
+		t.Fatalf("loaded %d packages for %d patterns %v", len(targets), len(pkgPaths), pkgPaths)
+	}
+	for _, tgt := range targets {
+		wants := collectWants(t, tgt)
+		diags := analyzers.Run([]*analyzers.Target{tgt}, []*analyzers.Analyzer{a})
+		for _, d := range diags {
+			if !claim(wants, d) {
+				t.Errorf("%s: unexpected diagnostic: %s [%s]", tgt.Path, d, d.Analyzer)
+			}
+		}
+		for _, w := range wants {
+			if !w.hit {
+				t.Errorf("%s: no diagnostic matched want %q at %s:%d", tgt.Path, w.re, filepath.Base(w.file), w.line)
+			}
+		}
+	}
+}
+
+func collectWants(t *testing.T, tgt *analyzers.Target) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range tgt.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.Contains(c.Text, "want ") {
+					continue
+				}
+				pos := tgt.Fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func claim(wants []*want, d analyzers.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}

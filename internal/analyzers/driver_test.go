@@ -1,0 +1,34 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"flatflash/internal/analyzers"
+	"flatflash/internal/analyzers/analyzertest"
+)
+
+// TestDirectiveValidation: //lint:ignore without a reason, or naming an
+// unknown analyzer, is itself reported (pseudo-analyzer "lint") no matter
+// which analyzer runs — suppressions must not silently rot.
+func TestDirectiveValidation(t *testing.T) {
+	analyzertest.Run(t, analyzers.Walltime, "flatflash/lintdir/a")
+}
+
+// TestSuiteNames pins the suite composition: ISSUE 5 ships exactly these
+// five analyzers, and CLI -only flags and //lint:ignore directives resolve
+// against their names.
+func TestSuiteNames(t *testing.T) {
+	want := []string{"walltime", "seededrand", "mapiter", "hotalloc", "probenil"}
+	all := analyzers.All()
+	if len(all) != len(want) {
+		t.Fatalf("All() has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// hotalloc is the compile-time side of the zero-allocation fast path. The
+// AllocsPerRun budgets prove the steady state allocates nothing, but only
+// for the inputs the tests drive; hotalloc gates the source itself. A
+// function opts in by carrying //flatflash:hotpath in its doc comment, and
+// every construct inside it that the compiler lowers to (or may lower to) a
+// heap allocation is flagged:
+//
+//	make / new / append       fmt.* calls (interface boxing + formatting)
+//	non-constant string +     string<->[]byte/[]rune conversions
+//	map/slice composite literals, &T{...}
+//	func literals (closure capture)      go statements
+//
+// Deliberately NOT flagged: map index/assign/delete on pre-warmed maps and
+// panics with constant arguments — the intrusive-LRU hot paths rely on
+// bucket reuse, which allocates only until warm. Calls into other functions
+// are also not traced; annotate the callee instead. A construct that is
+// provably non-escaping can be kept under //lint:ignore hotalloc <reason>.
+
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "in //flatflash:hotpath functions, flag constructs that heap-allocate " +
+		"(make/new/append, fmt, string concat/conversions, composite literals, closures)",
+	Run: runHotAlloc,
+}
+
+const hotpathDirective = "//flatflash:hotpath"
+
+func runHotAlloc(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, hotpathDirective) {
+				continue
+			}
+			p.checkHotBody(fd.Body)
+		}
+	}
+}
+
+func (p *Pass) checkHotBody(body *ast.BlockStmt) {
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := p.checkHotNode(n, stack)
+		if !descend {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// checkHotNode reports n if it allocates; the return value says whether to
+// descend into n's children.
+func (p *Pass) checkHotNode(n ast.Node, stack []ast.Node) bool {
+	switch e := n.(type) {
+	case *ast.FuncLit:
+		p.Reportf(e.Pos(), "closure in hot path: the func literal and its captured variables allocate")
+		return false // inner allocations are moot once the closure is gone
+	case *ast.GoStmt:
+		p.Reportf(e.Pos(), "go statement in hot path allocates a goroutine (and breaks single-threaded determinism)")
+	case *ast.CallExpr:
+		p.checkHotCall(e)
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD && p.isNonConstString(e) && !p.parentIsStringAdd(stack) {
+			p.Reportf(e.Pos(), "non-constant string concatenation allocates; use a preallocated buffer")
+		}
+	case *ast.CompositeLit:
+		t := p.Info.TypeOf(e)
+		if t == nil {
+			return true
+		}
+		switch t.Underlying().(type) {
+		case *types.Map:
+			p.Reportf(e.Pos(), "map literal allocates")
+		case *types.Slice:
+			p.Reportf(e.Pos(), "slice literal allocates")
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if _, ok := e.X.(*ast.CompositeLit); ok {
+				p.Reportf(e.Pos(), "&composite literal allocates (escapes to the heap unless proven otherwise)")
+			}
+		}
+	}
+	return true
+}
+
+func (p *Pass) checkHotCall(call *ast.CallExpr) {
+	// Builtins: make/new/append.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				p.Reportf(call.Pos(), "make allocates in hot path; preallocate at construction and reuse")
+			case "new":
+				p.Reportf(call.Pos(), "new allocates in hot path; preallocate at construction and reuse")
+			case "append":
+				p.Reportf(call.Pos(), "append may grow and allocate in hot path; preallocate with sufficient capacity outside it")
+			}
+			return
+		}
+	}
+	// fmt.* calls.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if fn, ok := pkgFunc(p.Info, sel.Sel, "fmt"); ok {
+			p.Reportf(call.Pos(), "fmt.%s allocates (argument boxing and formatting); hot paths must not format", fn.Name())
+			return
+		}
+	}
+	// Conversions between string and byte/rune slices.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type.Underlying()
+		src := p.Info.TypeOf(call.Args[0])
+		if src == nil {
+			return
+		}
+		if isString(dst) && isByteOrRuneSlice(src.Underlying()) {
+			p.Reportf(call.Pos(), "string conversion copies and allocates in hot path")
+		} else if isByteOrRuneSlice(dst) && isString(src.Underlying()) {
+			p.Reportf(call.Pos(), "byte/rune-slice conversion copies and allocates in hot path")
+		}
+	}
+}
+
+func (p *Pass) isNonConstString(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// parentIsStringAdd keeps an a+b+c chain to one report (at the top of the
+// chain) instead of one per +.
+func (p *Pass) parentIsStringAdd(stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	parent, ok := stack[len(stack)-1].(*ast.BinaryExpr)
+	return ok && parent.Op == token.ADD && p.isNonConstString(parent)
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,15 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"flatflash/internal/analyzers"
+	"flatflash/internal/analyzers/analyzertest"
+)
+
+// TestHotAlloc: allocating constructs inside //flatflash:hotpath functions
+// are flagged one by one, unannotated functions are out of scope, warmed
+// map operations stay legal, and //lint:ignore suppresses.
+func TestHotAlloc(t *testing.T) {
+	analyzertest.Run(t, analyzers.HotAlloc, "flatflash/hotalloc/a")
+}

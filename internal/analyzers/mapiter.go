@@ -1,0 +1,172 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// mapiter flags `range` over a map inside report/export/trace-emitting
+// functions. Go randomizes map iteration order, so any map walk whose
+// results reach a report, an exported trace, or a String() rendering makes
+// same-seed output differ between runs — the class of bug fixed by hand in
+// the sorted Drain/Crash frame walks. Two shapes are recognized as safe and
+// not flagged:
+//
+//   - the collect-then-sort idiom: a loop whose single statement appends
+//     the range KEY to a slice (the caller sorts before emitting), and
+//   - pure integer accumulation (counters, bit-ors), which is
+//     order-invariant; float accumulation is NOT exempt because float
+//     addition does not associate.
+//
+// A function is in scope when its name looks emit-shaped (see
+// mapiterCandidate) or its doc comment carries //flatflash:deterministic.
+
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc: "flag map iteration in report/export/trace-emitting functions " +
+		"unless keys are collected for sorting or the body is order-invariant",
+	Run: runMapIter,
+}
+
+// mapiterCandidate matches function names whose output plausibly reaches a
+// report, export, or trace. Tight on purpose: aggregation helpers may walk
+// maps freely as long as the emitting function orders its walk.
+var mapiterCandidate = regexp.MustCompile(
+	`(?i)(report|export|emit|dump|render|snapshot|marshal|drain|writeto|string)`)
+
+const deterministicDirective = "//flatflash:deterministic"
+
+func runMapIter(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !mapiterCandidate.MatchString(fd.Name.Name) && !hasDirective(fd.Doc, deterministicDirective) {
+				continue
+			}
+			p.checkMapRanges(fd)
+		}
+	}
+}
+
+func (p *Pass) checkMapRanges(fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if p.isKeyCollectLoop(rs) || p.isOrderInvariantBody(rs.Body.List) {
+			return true
+		}
+		p.Reportf(rs.Pos(), "map iteration order is randomized; %s emits output, so collect+sort the keys (or restructure) before walking this map", fd.Name.Name)
+		return true
+	})
+}
+
+// isKeyCollectLoop recognizes `for k := range m { keys = append(keys, k) }`
+// (the key may pass through a conversion or constructor call). The value
+// variable must be unused: touching values in arbitrary order is only safe
+// for the later sorted re-walk, not here.
+func (p *Pass) isKeyCollectLoop(rs *ast.RangeStmt) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || rs.Value != nil {
+		return false
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		if usesIdent(arg, key) {
+			return true
+		}
+	}
+	return false
+}
+
+// isOrderInvariantBody reports whether every statement is an integer
+// accumulation (x++, x--, x += e, x |= e, ...) possibly nested under ifs —
+// shapes whose result does not depend on iteration order.
+func (p *Pass) isOrderInvariantBody(stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ast.IncDecStmt:
+			if !p.isIntegerExpr(st.X) {
+				return false
+			}
+		case *ast.AssignStmt:
+			switch st.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN,
+				token.AND_ASSIGN, token.XOR_ASSIGN:
+			default:
+				return false
+			}
+			for _, lhs := range st.Lhs {
+				if !p.isIntegerExpr(lhs) {
+					return false
+				}
+			}
+		case *ast.IfStmt:
+			if st.Init != nil || !p.isOrderInvariantBody(st.Body.List) {
+				return false
+			}
+			switch e := st.Else.(type) {
+			case nil:
+			case *ast.BlockStmt:
+				if !p.isOrderInvariantBody(e.List) {
+					return false
+				}
+			default:
+				return false
+			}
+		case *ast.BranchStmt:
+			if st.Tok != token.CONTINUE {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Pass) isIntegerExpr(e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func usesIdent(e ast.Expr, target *ast.Ident) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == target.Name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

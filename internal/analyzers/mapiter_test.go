@@ -1,0 +1,15 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"flatflash/internal/analyzers"
+	"flatflash/internal/analyzers/analyzertest"
+)
+
+// TestMapIter: order-dependent map walks in emit-shaped (or annotated)
+// functions are flagged; collect-then-sort, integer accumulation, and
+// non-emitting helpers pass; //lint:ignore suppresses.
+func TestMapIter(t *testing.T) {
+	analyzertest.Run(t, analyzers.MapIter, "flatflash/mapiter/a")
+}

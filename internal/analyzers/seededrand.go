@@ -1,0 +1,135 @@
+package analyzers
+
+import (
+	"go/ast"
+)
+
+// seededrand forbids randomness that is not replayable from a seed. The
+// global math/rand functions draw from process-wide shared state, so the
+// values one experiment sees depend on what every other package drew before
+// it — same-seed runs stop replaying exactly. rand.New is tolerated only in
+// the syntactic form rand.New(rand.NewSource(<constant>)), which is fully
+// determined by the source text; everything else must use the simulator's
+// own seeded generator (sim.NewRNG).
+
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc: "forbid global math/rand state and non-constant rand.New seeds; " +
+		"randomness must come from the seeded sim RNG",
+	// internal/sim owns the simulator's RNG and is the one place allowed
+	// to wrap or reference other generators.
+	Allowed: []string{"internal/sim"},
+	Run:     runSeededRand,
+}
+
+// Constructors that return generator values rather than touching the global
+// source. They are checked structurally (constant seeds) instead of being
+// flagged outright.
+var seededRandCtors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runSeededRand(p *Pass) {
+	for _, randPath := range []string{"math/rand", "math/rand/v2"} {
+		p.checkRandPackage(randPath)
+	}
+}
+
+func (p *Pass) checkRandPackage(randPath string) {
+	inspectFiles(p.Files, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		fn, ok := pkgFunc(p.Info, id, randPath)
+		if !ok {
+			return true
+		}
+		name := fn.Name()
+		if !seededRandCtors[name] {
+			p.Reportf(id.Pos(), "%s.%s draws from process-global shared state; use the seeded sim RNG (sim.NewRNG) so same-seed runs replay exactly", randPath, name)
+			return true
+		}
+		switch name {
+		case "NewZipf":
+			// Takes an already-constructed *Rand; nothing global.
+		case "NewSource":
+			if !p.isConstSeedCall(callOf(id, stack)) {
+				p.Reportf(id.Pos(), "%s.NewSource must be called with a compile-time constant seed (or use sim.NewRNG); a runtime seed makes runs unreplayable", randPath)
+			}
+		case "New":
+			if !p.isSeededNewCall(callOf(id, stack), randPath) {
+				p.Reportf(id.Pos(), "%s.New must be seeded as rand.New(rand.NewSource(<constant>)) (or use sim.NewRNG) so same-seed runs replay exactly", randPath)
+			}
+		}
+		return true
+	})
+}
+
+// callOf returns the CallExpr whose callee resolves through id (either the
+// identifier itself or the selector it names), or nil when id is used as a
+// value rather than called.
+func callOf(id *ast.Ident, stack []ast.Node) *ast.CallExpr {
+	fun := ast.Expr(id)
+	i := len(stack) - 1
+	if i >= 0 {
+		if sel, ok := stack[i].(*ast.SelectorExpr); ok && sel.Sel == id {
+			fun = sel
+			i--
+		}
+	}
+	if i < 0 {
+		return nil
+	}
+	call, ok := stack[i].(*ast.CallExpr)
+	if !ok || call.Fun != fun {
+		return nil
+	}
+	return call
+}
+
+// isConstSeedCall reports whether call is a source constructor invocation
+// whose every argument is a compile-time constant.
+func (p *Pass) isConstSeedCall(call *ast.CallExpr) bool {
+	if call == nil || len(call.Args) == 0 {
+		return false
+	}
+	for _, arg := range call.Args {
+		if tv, ok := p.Info.Types[arg]; !ok || tv.Value == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// isSeededNewCall reports whether call is rand.New(rand.NewSource(<const>))
+// (for v2, any New(<source ctor with constant args>) form).
+func (p *Pass) isSeededNewCall(call *ast.CallExpr, randPath string) bool {
+	if call == nil || len(call.Args) != 1 {
+		return false
+	}
+	src, ok := call.Args[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	var callee *ast.Ident
+	switch fun := src.Fun.(type) {
+	case *ast.Ident:
+		callee = fun
+	case *ast.SelectorExpr:
+		callee = fun.Sel
+	default:
+		return false
+	}
+	fn, ok := pkgFunc(p.Info, callee, randPath)
+	if !ok {
+		return false
+	}
+	switch fn.Name() {
+	case "NewSource", "NewPCG", "NewChaCha8":
+		return p.isConstSeedCall(src)
+	}
+	return false
+}

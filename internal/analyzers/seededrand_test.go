@@ -1,0 +1,19 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"flatflash/internal/analyzers"
+	"flatflash/internal/analyzers/analyzertest"
+)
+
+// TestSeededRand: global math/rand state and runtime seeds are flagged,
+// rand.New(rand.NewSource(<const>)) and NewZipf are tolerated, the sim
+// package (owner of the seeded RNG) is allowlisted, and //lint:ignore
+// suppresses.
+func TestSeededRand(t *testing.T) {
+	analyzertest.Run(t, analyzers.SeededRand,
+		"flatflash/seededrand/a",
+		"flatflash/internal/sim",
+	)
+}

@@ -1,0 +1,94 @@
+package analyzers
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignoreSet records which analyzers are suppressed on which lines of a
+// target. A //lint:ignore directive applies to diagnostics on its own line
+// (trailing comment) and on the line immediately below it (comment above
+// the offending statement).
+type ignoreSet struct {
+	// file -> line -> analyzer names suppressed when a directive sits on
+	// that line.
+	byLine map[string]map[int]map[string]bool
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// collectIgnores scans the target's comments for //lint:ignore directives.
+// A directive must name at least one known analyzer and give a reason;
+// anything else is reported as a "lint" diagnostic so suppressions cannot
+// silently rot.
+func collectIgnores(tgt *Target) (*ignoreSet, []Diagnostic) {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	ig := &ignoreSet{byLine: make(map[string]map[int]map[string]bool)}
+	var bad []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		bad = append(bad, Diagnostic{Analyzer: "lint", Pos: tgt.Fset.Position(pos), Message: msg})
+	}
+	for _, f := range tgt.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:ignorefoo — not ours
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					report(c.Pos(), "malformed //lint:ignore directive: need \"//lint:ignore <analyzer[,analyzer]> <reason>\"")
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				ok := true
+				for _, n := range names {
+					if !known[n] {
+						report(c.Pos(), "//lint:ignore names unknown analyzer "+n)
+						ok = false
+					}
+				}
+				if !ok {
+					continue
+				}
+				pos := tgt.Fset.Position(c.Pos())
+				lines := ig.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					ig.byLine[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = make(map[string]bool)
+					lines[pos.Line] = set
+				}
+				for _, n := range names {
+					set[n] = true
+				}
+			}
+		}
+	}
+	return ig, bad
+}
+
+// suppressed reports whether a diagnostic from the named analyzer at pos is
+// covered by a directive on the same line or the line above.
+func (ig *ignoreSet) suppressed(analyzer string, pos token.Position) bool {
+	lines := ig.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, l := range [2]int{pos.Line, pos.Line - 1} {
+		if set := lines[l]; set != nil && set[analyzer] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+// Package lintallow sits on walltime's allowlist (path suffix
+// cmd/flatflash-lint): tooling that never runs inside a simulation may time
+// itself, so nothing here is flagged.
+package lintallow
+
+import "time"
+
+func Elapsed(start time.Time) time.Duration {
+	_ = time.Now()
+	return time.Since(start)
+}

@@ -1,0 +1,3 @@
+module flatflash
+
+go 1.24

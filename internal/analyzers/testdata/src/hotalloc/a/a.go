@@ -1,0 +1,58 @@
+// Package a seeds hotalloc violations: allocating constructs inside
+// //flatflash:hotpath functions are flagged; identical constructs in
+// unannotated functions are not, and pre-warmed map operations stay legal
+// even in hot paths.
+package a
+
+import "fmt"
+
+type ring struct {
+	buf  []int64
+	slot map[uint64]int32
+}
+
+// hotLookup is annotated and clean: map reads/writes on warmed maps,
+// indexing, and arithmetic never allocate.
+//
+//flatflash:hotpath
+func (r *ring) hotLookup(k uint64) int64 {
+	if i, ok := r.slot[k]; ok {
+		return r.buf[i]
+	}
+	return -1
+}
+
+// hotViolations collects one of each flagged construct.
+//
+//flatflash:hotpath
+func (r *ring) hotViolations(k uint64, bs []byte, label string) string {
+	tmp := make([]int64, 4)         // want "make allocates in hot path"
+	r.buf = append(r.buf, int64(k)) // want "append may grow and allocate"
+	p := new(ring)                  // want "new allocates in hot path"
+	_ = p
+	msg := fmt.Sprintf("k=%d", k)     // want "fmt.Sprintf allocates"
+	s := label + string(bs)           // want "non-constant string concatenation allocates" want "string conversion copies and allocates"
+	f := func() { r.buf[0] = tmp[0] } // want "closure in hot path"
+	f()
+	pairs := []int64{1, 2} // want "slice literal allocates"
+	_ = pairs
+	q := &ring{} // want "&composite literal allocates"
+	_ = q
+	go r.hotLookup(k) // want "go statement in hot path"
+	return msg + s    // want "non-constant string concatenation allocates"
+}
+
+// coldPath uses the same constructs without the annotation: out of scope.
+func (r *ring) coldPath(k uint64) string {
+	tmp := make([]int64, 4)
+	r.buf = append(r.buf, tmp...)
+	return fmt.Sprintf("k=%d", k)
+}
+
+// hotSuppressed keeps one justified allocation.
+//
+//flatflash:hotpath
+func (r *ring) hotSuppressed() {
+	//lint:ignore hotalloc grows only before steady state, capacity retained after
+	r.buf = append(r.buf, 0)
+}

@@ -1,0 +1,11 @@
+// Package sim sits on seededrand's allowlist: it owns the simulator's RNG
+// and may wrap or reference other generators freely.
+package sim
+
+import "math/rand"
+
+func Wrap(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func Draw() int { return rand.Int() }

@@ -1,0 +1,33 @@
+// Package telemetry is a fixture stub with the same shape as the real
+// flatflash/internal/telemetry: a nil-safe Probe interface. The package
+// itself sits on probenil's allowlist, so the unguarded fan-out below is
+// tolerated here and nowhere else.
+package telemetry
+
+type (
+	SpanKind uint8
+	Track    uint8
+	Time     int64
+)
+
+// Probe receives instrumentation callbacks; all call sites outside this
+// package guard with a nil check.
+type Probe interface {
+	Span(kind SpanKind, track Track, start, end Time, arg int64)
+	Event(kind SpanKind, track Track, at Time, arg int64)
+}
+
+// Multi fans out to probes its constructor already validated as non-nil.
+type Multi struct{ ps []Probe }
+
+func (m *Multi) Span(kind SpanKind, track Track, start, end Time, arg int64) {
+	for _, p := range m.ps {
+		p.Span(kind, track, start, end, arg)
+	}
+}
+
+func (m *Multi) Event(kind SpanKind, track Track, at Time, arg int64) {
+	for _, p := range m.ps {
+		p.Event(kind, track, at, arg)
+	}
+}

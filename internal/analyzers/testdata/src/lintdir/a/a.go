@@ -1,0 +1,10 @@
+// Package a seeds directive misuse: the driver reports malformed or
+// unknown //lint:ignore directives under the pseudo-analyzer "lint".
+package a
+
+func noop() int {
+	x := 1 /* want "malformed" */ //lint:ignore walltime
+	//lint:ignore notananalyzer reason text, also: want "unknown analyzer notananalyzer"
+	x++
+	return x
+}

@@ -1,0 +1,59 @@
+// Package a seeds probenil violations: calls through the telemetry.Probe
+// interface must be dominated by a nil check on the same expression.
+package a
+
+import telemetry "flatflash/internal/telemetry"
+
+type dev struct {
+	probe telemetry.Probe
+	busy  bool
+}
+
+func (d *dev) unguarded(now telemetry.Time) {
+	d.probe.Event(0, 0, now, 1) // want "telemetry.Probe call without nil guard"
+}
+
+func (d *dev) wrongGuard(other *dev, now telemetry.Time) {
+	if other.probe != nil {
+		d.probe.Event(0, 0, now, 1) // want "telemetry.Probe call without nil guard"
+	}
+}
+
+func (d *dev) guarded(now telemetry.Time) {
+	if d.probe != nil {
+		d.probe.Span(0, 0, now, now, 1)
+	}
+}
+
+func (d *dev) guardedCompound(lat int64, now telemetry.Time) {
+	if lat > 0 && d.probe != nil {
+		d.probe.Span(0, 0, now, now+telemetry.Time(lat), 1)
+	}
+}
+
+func (d *dev) guardedEarlyExit(now telemetry.Time) {
+	if d.probe == nil {
+		return
+	}
+	d.probe.Event(0, 0, now, 2)
+}
+
+func (d *dev) guardedElse(now telemetry.Time) {
+	if d.probe == nil || d.busy {
+		d.busy = true
+	} else {
+		d.probe.Event(0, 0, now, 3)
+	}
+}
+
+func (d *dev) localCopy(now telemetry.Time) {
+	p := d.probe
+	if p != nil {
+		p.Span(0, 0, now, now, 4)
+	}
+}
+
+func (d *dev) suppressed(now telemetry.Time) {
+	//lint:ignore probenil caller contract guarantees a probe is attached
+	d.probe.Event(0, 0, now, 5)
+}

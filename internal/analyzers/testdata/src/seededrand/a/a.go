@@ -1,0 +1,38 @@
+// Package a seeds seededrand violations: global math/rand state and
+// runtime-seeded generators are flagged; constant-seeded construction and
+// the Zipf helper are not.
+package a
+
+import "math/rand"
+
+func globals() (int, float64) {
+	n := rand.Intn(10)                 // want "math/rand.Intn draws from process-global shared state"
+	f := rand.Float64()                // want "math/rand.Float64 draws from process-global shared state"
+	rand.Shuffle(n, func(i, j int) {}) // want "math/rand.Shuffle draws from process-global shared state"
+	return n, f
+}
+
+func runtimeSeed(seed int64) *rand.Rand {
+	// Both the constructor and the source are flagged: the seed is not a
+	// compile-time constant, so the run cannot be replayed from source.
+	return rand.New(rand.NewSource(seed)) // want "rand.New must be seeded" want "NewSource must be called with a compile-time constant seed"
+}
+
+func sourceAlone(seed int64) rand.Source {
+	return rand.NewSource(seed) // want "NewSource must be called with a compile-time constant seed"
+}
+
+// constSeed is the tolerated syntactic form: fully determined by source.
+func constSeed() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+// zipf takes an already-constructed generator; nothing global.
+func zipf(r *rand.Rand) *rand.Zipf {
+	return rand.NewZipf(r, 1.3, 1, 1<<20)
+}
+
+func suppressed() int64 {
+	//lint:ignore seededrand one-off tie-breaker outside any experiment path
+	return rand.Int63()
+}

@@ -1,0 +1,42 @@
+// Package a seeds walltime violations: wall-clock reads and timers are
+// flagged, pure time arithmetic is not, and //lint:ignore suppresses.
+package a
+
+import "time"
+
+func readsClock() int64 {
+	t := time.Now() // want "time.Now reads the wall clock"
+	return t.UnixNano()
+}
+
+func measures(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+func sleeps() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+}
+
+func takesValue() func() time.Time {
+	return time.Now // want "time.Now reads the wall clock"
+}
+
+func timer() {
+	<-time.After(time.Second) // want "time.After reads the wall clock"
+}
+
+// pureArithmetic shows what stays legal: Duration constants and Time math
+// never touch the host clock.
+func pureArithmetic(a, b time.Time) time.Duration {
+	d := b.Sub(a)
+	return d + 3*time.Millisecond
+}
+
+func suppressed() time.Time {
+	//lint:ignore walltime startup banner timestamp, never inside a simulation
+	return time.Now()
+}
+
+func suppressedTrailing() time.Time {
+	return time.Now() //lint:ignore walltime log header only
+}

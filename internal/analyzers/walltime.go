@@ -1,0 +1,43 @@
+package analyzers
+
+// walltime forbids wall-clock reads and timers. Every latency and timestamp
+// in the simulator flows through the virtual nanosecond clock (sim.Clock,
+// PAPER.md Table 2); a single time.Now() in a report path makes same-seed
+// runs diverge byte-for-byte and breaks the crashsweep/mtsim golden-run
+// comparisons. Pure time.Duration/time.Time arithmetic and constants
+// (time.Millisecond, t.Sub(u)) stay legal — only reading the host clock or
+// scheduling against it is forbidden.
+
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc: "forbid wall-clock reads (time.Now/Since/Sleep/timers); " +
+		"all simulator timing must flow through the sim virtual clock",
+	// The lint CLI may time its own run: tooling that never executes
+	// inside a simulation is the one legitimate wall-clock consumer.
+	Allowed: []string{"cmd/flatflash-lint"},
+	Run:     runWalltime,
+}
+
+// Package-level time functions that read or schedule against the host
+// clock. Taking one as a value is as forbidden as calling it.
+var walltimeForbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func runWalltime(p *Pass) {
+	for id := range p.Info.Uses {
+		fn, ok := pkgFunc(p.Info, id, "time")
+		if !ok || !walltimeForbidden[fn.Name()] {
+			continue
+		}
+		p.Reportf(id.Pos(), "time.%s reads the wall clock; simulator timing must flow through the sim virtual clock (sim.Clock / sim.Time)", fn.Name())
+	}
+}

@@ -1,0 +1,17 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"flatflash/internal/analyzers"
+	"flatflash/internal/analyzers/analyzertest"
+)
+
+// TestWalltime: wall-clock reads are flagged, time arithmetic is not, the
+// lint CLI's own package path is allowlisted, and //lint:ignore suppresses.
+func TestWalltime(t *testing.T) {
+	analyzertest.Run(t, analyzers.Walltime,
+		"flatflash/walltime/a",
+		"flatflash/cmd/flatflash-lint",
+	)
+}

@@ -322,6 +322,8 @@ func (s *FlatFlash) Write(addr uint64, data []byte) (sim.Duration, error) {
 // serviced by fastDRAMSpan or split further at cache-line boundaries through
 // accessChunkFor — the chunk sequence is identical to the old chunker
 // callback, without the per-access closure allocation.
+//
+//flatflash:hotpath
 func (s *FlatFlash) accessFor(t *Tenant, addr uint64, buf []byte, isWrite bool) (sim.Duration, error) {
 	if s.crashed {
 		return 0, ErrCrashed
@@ -374,6 +376,8 @@ func (s *FlatFlash) accessFor(t *Tenant, addr uint64, buf []byte, isWrite bool) 
 // telemetry spans, clock advance — with one copy and one clock update, so
 // output stays byte-identical. Returns false (having done nothing) when the
 // conditions do not hold and the caller must take the per-chunk path.
+//
+//flatflash:hotpath
 func (s *FlatFlash) fastDRAMSpan(t *Tenant, vpn uint64, off int, seg []byte, isWrite bool) bool {
 	pte := t.as.Peek(vpn)
 	if pte == nil || pte.Loc != vm.InDRAM {
@@ -424,6 +428,8 @@ func (s *FlatFlash) fastDRAMSpan(t *Tenant, vpn uint64, off int, seg []byte, isW
 
 // accessChunkFor services one sub-cache-line access to one page of tenant
 // t's address space, advancing t's clock by the latency its CPU observes.
+//
+//flatflash:hotpath
 func (s *FlatFlash) accessChunkFor(t *Tenant, vpn uint64, off int, b []byte, isWrite bool) error {
 	if err := s.checkCrash(t.clock.Now()); err != nil {
 		return err
@@ -550,6 +556,7 @@ func (s *FlatFlash) accessChunkFor(t *Tenant, vpn uint64, off int, b []byte, isW
 	return nil
 }
 
+//flatflash:hotpath
 func (s *FlatFlash) countHit(hit bool) {
 	if hit {
 		*s.hot.ssdcacheHits++

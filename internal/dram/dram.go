@@ -86,6 +86,7 @@ func (d *DRAM) Config() Config { return d.cfg }
 // FreeFrames returns the number of unallocated frames.
 func (d *DRAM) FreeFrames() int { return len(d.free) }
 
+//flatflash:hotpath
 func (d *DRAM) detach(f int32) {
 	p, n := d.prev[f], d.next[f]
 	if p >= 0 {
@@ -101,6 +102,7 @@ func (d *DRAM) detach(f int32) {
 	d.inList[f] = false
 }
 
+//flatflash:hotpath
 func (d *DRAM) pushFront(f int32) {
 	d.prev[f] = -1
 	d.next[f] = d.head
@@ -144,6 +146,7 @@ func (d *DRAM) Release(f int) error {
 	return nil
 }
 
+//flatflash:hotpath
 func (d *DRAM) check(f int) error {
 	if f < 0 || f >= d.cfg.Frames || !d.allocd[f] {
 		return ErrBadFrame
@@ -152,6 +155,8 @@ func (d *DRAM) check(f int) error {
 }
 
 // Data returns the page buffer of an allocated frame.
+//
+//flatflash:hotpath
 func (d *DRAM) Data(f int) ([]byte, error) {
 	if err := d.check(f); err != nil {
 		return nil, err
@@ -161,6 +166,8 @@ func (d *DRAM) Data(f int) ([]byte, error) {
 
 // Touch records a use of frame f (moves it to MRU) and returns the
 // cache-line access latency to charge.
+//
+//flatflash:hotpath
 func (d *DRAM) Touch(f int) (sim.Duration, error) {
 	return d.TouchN(f, 1)
 }
@@ -168,6 +175,8 @@ func (d *DRAM) Touch(f int) (sim.Duration, error) {
 // TouchN records n back-to-back cache-line uses of frame f with one LRU
 // update — the bulk-span fast path's replacement for n Touch calls — and
 // returns the per-line access latency.
+//
+//flatflash:hotpath
 func (d *DRAM) TouchN(f int, n int64) (sim.Duration, error) {
 	if err := d.check(f); err != nil {
 		return 0, err

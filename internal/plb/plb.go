@@ -145,6 +145,7 @@ func (p *PLB) InFlight(lpn uint32) bool {
 	return p.find(lpn) != nil
 }
 
+//flatflash:hotpath
 func (p *PLB) find(lpn uint32) *entry {
 	for i := range p.entries {
 		if p.entries[i].valid && p.entries[i].lpn == lpn {
@@ -209,6 +210,8 @@ func (p *PLB) Start(now sim.Time, lpn uint32, frame int, src, dst []byte, srcDir
 // scheduled arrival has passed and that the CPU has not already written is
 // copied from the SSD snapshot into the DRAM frame. Inbound lines that find
 // their Copied-CL bit already set are dropped (Figure 4c).
+//
+//flatflash:hotpath
 func (p *PLB) progress(e *entry, now sim.Time) {
 	elapsed := now.Sub(e.start)
 	done := int(elapsed / e.perLine)
@@ -247,6 +250,8 @@ const (
 // data is read into buf. The returned route tells the caller which latency
 // to charge (DRAM vs SSD/MMIO). Accesses that span cache lines are split by
 // the caller; here off+len must stay within one line.
+//
+//flatflash:hotpath
 func (p *PLB) Access(now sim.Time, lpn uint32, off int, buf []byte, isStore bool) Route {
 	p.lookups++
 	e := p.find(lpn)
@@ -290,6 +295,8 @@ func (p *PLB) Access(now sim.Time, lpn uint32, off int, buf []byte, isStore bool
 // Pending reports how many promotions are currently in flight. The
 // hierarchy's bulk fast path requires zero: with nothing in flight, skipping
 // the per-line PLB lookups is an exact no-op.
+//
+//flatflash:hotpath
 func (p *PLB) Pending() int { return p.pending }
 
 // clearEntry invalidates e but keeps its snapshot buffer for the slot's next

@@ -131,11 +131,14 @@ func (c *Cache) SetProbe(p telemetry.Probe, now func() sim.Time) {
 	c.probe, c.now = p, now
 }
 
+//flatflash:hotpath
 func (c *Cache) setOf(lpn uint32) int { return int(lpn) % c.nsets }
 
 // Lookup finds lpn in the cache. On a hit it applies the replacement
 // policy's hit update (RRPV -> 0, or LRU timestamp) and returns the entry
 // for in-place read/write by the manager.
+//
+//flatflash:hotpath
 func (c *Cache) Lookup(lpn uint32) (*Entry, bool) {
 	set := c.sets[c.setOf(lpn)]
 	for i := range set {
@@ -160,6 +163,8 @@ func (c *Cache) Lookup(lpn uint32) (*Entry, bool) {
 
 // Contains reports whether lpn is cached, without touching replacement
 // state or hit/miss counters.
+//
+//flatflash:hotpath
 func (c *Cache) Contains(lpn uint32) bool {
 	set := c.sets[c.setOf(lpn)]
 	for i := range set {
@@ -172,6 +177,8 @@ func (c *Cache) Contains(lpn uint32) bool {
 
 // Touch increments the entry's page access counter (Algorithm 1's
 // PageCntArray[set][way]++) and returns the new value.
+//
+//flatflash:hotpath
 func (c *Cache) Touch(e *Entry) int {
 	e.PageCnt++
 	return e.PageCnt

@@ -129,6 +129,8 @@ func (a *AddressSpace) PTEOf(vpn uint64) *PTE { return &a.pages[vpn] }
 // Translate resolves vpn, charging TLB-hit or page-walk latency, and
 // returns the PTE plus the translation delay. A missing mapping returns
 // ErrUnmapped.
+//
+//flatflash:hotpath
 func (a *AddressSpace) Translate(vpn uint64) (*PTE, sim.Duration, error) {
 	if vpn >= uint64(len(a.pages)) || !a.pages[vpn].Present {
 		return nil, 0, ErrUnmapped
@@ -147,6 +149,8 @@ func (a *AddressSpace) Translate(vpn uint64) (*PTE, sim.Duration, error) {
 // latency — a side-effect-free probe the hierarchy's bulk fast path uses to
 // decide whether a span is fully DRAM-resident before committing to it. It
 // returns nil for unmapped pages.
+//
+//flatflash:hotpath
 func (a *AddressSpace) Peek(vpn uint64) *PTE {
 	if vpn >= uint64(len(a.pages)) || !a.pages[vpn].Present {
 		return nil
@@ -158,6 +162,8 @@ func (a *AddressSpace) Peek(vpn uint64) *PTE {
 // just resolved. Repeat accesses to the same VPN always hit the TLB with the
 // entry already at the MRU position, so the only architectural effect is the
 // hit count — this records it without n map lookups.
+//
+//flatflash:hotpath
 func (a *AddressSpace) CreditRepeatHits(n int64) {
 	a.tlbHits += n
 }
@@ -214,6 +220,7 @@ func newTLB(capacity int) *tlb {
 	return t
 }
 
+//flatflash:hotpath
 func (t *tlb) detach(i int32) {
 	p, n := t.prev[i], t.next[i]
 	if p >= 0 {
@@ -228,6 +235,7 @@ func (t *tlb) detach(i int32) {
 	}
 }
 
+//flatflash:hotpath
 func (t *tlb) pushFront(i int32) {
 	t.prev[i] = -1
 	t.next[i] = t.head
@@ -239,6 +247,7 @@ func (t *tlb) pushFront(i int32) {
 	t.head = i
 }
 
+//flatflash:hotpath
 func (t *tlb) lookup(vpn uint64) bool {
 	i, ok := t.slot[vpn]
 	if !ok {
@@ -251,6 +260,7 @@ func (t *tlb) lookup(vpn uint64) bool {
 	return true
 }
 
+//flatflash:hotpath
 func (t *tlb) insert(vpn uint64) {
 	if i, ok := t.slot[vpn]; ok {
 		if i != t.head {

@@ -1,6 +1,7 @@
 #!/bin/sh
-# Tier-1 gate: formatting, vet, build, and the full test suite under the
-# race detector. Run from the repo root (make ci does).
+# Tier-1 gate: formatting, vet, the flatflash-lint invariant suite, build,
+# and the full test suite under the race detector. Run from the repo root
+# (make ci does).
 set -eu
 
 echo "== gofmt =="
@@ -17,6 +18,12 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+echo "== flatflash-lint =="
+# Static enforcement of the simulator's determinism, virtual-time, and
+# hot-path invariants (see DESIGN.md): any diagnostic fails the gate.
+go build -o /tmp/flatflash-lint ./cmd/flatflash-lint
+/tmp/flatflash-lint ./...
+
 echo "== go test -race =="
 go test -race ./...
 
@@ -31,22 +38,36 @@ echo "== bench smoke =="
 go test -bench=. -benchtime=1x -run='^$' ./...
 
 echo "== fuzz smoke =="
-# Short seeded-corpus-plus-mutation runs; a regression in the parsers shows
-# up here long before anyone runs the fuzzers by hand.
-go test -fuzz=FuzzParse -fuzztime=3s -run=^$ ./internal/trace
-go test -fuzz=FuzzFaultPlan -fuzztime=3s -run=^$ ./internal/fault
+# Short seeded-corpus-plus-mutation runs over every fuzz target in the
+# tree, discovered per package so new fuzzers are picked up automatically
+# instead of silently skipped. A regression in the parsers shows up here
+# long before anyone runs the fuzzers by hand.
+for pkg in $(go list ./...); do
+    fuzzers=$(go test -list '^Fuzz' "$pkg" | grep '^Fuzz' || true)
+    for f in $fuzzers; do
+        go test -fuzz="^${f}\$" -fuzztime=3s -run='^$' "$pkg"
+    done
+done
 
-echo "== fault coverage floor =="
-cover=$(go test -cover ./internal/fault | awk '{for (i=1;i<=NF;i++) if ($i=="coverage:") {sub(/%$/,"",$(i+1)); print $(i+1)}}')
-if [ -z "$cover" ]; then
-    echo "could not read coverage for internal/fault"
-    exit 1
-fi
-floor=80
-if [ "$(printf '%s\n' "$cover" | awk -v f=$floor '{print ($1 < f) ? 1 : 0}')" = "1" ]; then
-    echo "internal/fault coverage ${cover}% below ${floor}% floor"
-    exit 1
-fi
-echo "internal/fault coverage ${cover}% (floor ${floor}%)"
+echo "== coverage floors =="
+# Safety-critical packages keep a per-package statement-coverage floor: the
+# fault engine guards crash consistency, and the analyzer suite guards every
+# other invariant, so silent coverage rot there is disproportionately risky.
+cover_floor() {
+    pkg=$1
+    floor=$2
+    cover=$(go test -cover "$pkg" | awk '{for (i=1;i<=NF;i++) if ($i=="coverage:") {sub(/%$/,"",$(i+1)); print $(i+1)}}')
+    if [ -z "$cover" ]; then
+        echo "could not read coverage for $pkg"
+        exit 1
+    fi
+    if [ "$(printf '%s\n' "$cover" | awk -v f="$floor" '{print ($1 < f) ? 1 : 0}')" = "1" ]; then
+        echo "$pkg coverage ${cover}% below ${floor}% floor"
+        exit 1
+    fi
+    echo "$pkg coverage ${cover}% (floor ${floor}%)"
+}
+cover_floor ./internal/fault 80
+cover_floor ./internal/analyzers 80
 
 echo "ci: all green"
