@@ -29,6 +29,7 @@ import (
 	"flatflash/internal/experiments"
 	"flatflash/internal/fault"
 	"flatflash/internal/mtsim"
+	"flatflash/internal/obsflags"
 	"flatflash/internal/sim"
 	"flatflash/internal/telemetry"
 )
@@ -69,6 +70,7 @@ func main() {
 	metricsEp := flag.Duration("metrics-epoch", time.Millisecond, "virtual-time metrics sampling epoch")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment runs to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile taken after the runs to this file")
+	obs := obsflags.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -109,6 +111,12 @@ func main() {
 	}
 	experiments.SetTelemetry(probe, reg)
 
+	// Latency attribution and the flight recorder attach to every FlatFlash
+	// hierarchy the experiments build; the consolidate sweep additionally
+	// gets per-point attribution engines rendered in its report.
+	att, flightRec := obs.Build()
+	experiments.SetAttribution(att, flightRec)
+
 	scale := experiments.Full
 	if *quick {
 		scale = experiments.Quick
@@ -143,6 +151,11 @@ func main() {
 		check(f.Close())
 		fmt.Printf("metrics: %d epochs -> %s\n", len(reg.Rows()), *metricsOut)
 	}
+	if att != nil {
+		check(att.WriteBudget(os.Stdout))
+	}
+	check(obs.WriteLatency(att, os.Stdout))
+	check(obs.WriteFlight(flightRec, os.Stdout))
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
 		check(err)
@@ -187,6 +200,7 @@ func runConsolidate(args []string) {
 		think   = fs.Duration("think", time.Microsecond, "virtual think time between a tenant's operations")
 		workers = fs.Int("workers", 4, "parallel workers across grid points")
 		noArb   = fs.Bool("no-arbiter", false, "disable the DRAM-budget arbiter (unmanaged frame contention)")
+		obs     = obsflags.Register(fs)
 	)
 	subUsage(fs, "consolidate")
 	check(fs.Parse(args))
@@ -203,6 +217,13 @@ func runConsolidate(args []string) {
 		Think:          sim.Duration(think.Nanoseconds()),
 		Workers:        *workers,
 		DisableArbiter: *noArb,
+		Attrib:         obs.AttribEnabled(),
+		SLO:            obs.SLODur(),
+	}
+	var flightRec *telemetry.FlightRecorder
+	if obs.FlightEnabled() {
+		flightRec = telemetry.NewFlightRecorder(telemetry.DefaultFlightCapacity, telemetry.DefaultFlightSnapshots)
+		cfg.Flight = flightRec
 	}
 	res, err := mtsim.Sweep(cfg)
 	if err != nil {
@@ -211,6 +232,19 @@ func runConsolidate(args []string) {
 		os.Exit(2)
 	}
 	check(res.Write(os.Stdout))
+	if *obs.LatencyOut != "" {
+		// Each sweep point carries a private attribution engine; the dump
+		// concatenates their JSONL records in grid order.
+		f, err := os.Create(*obs.LatencyOut)
+		check(err)
+		for i := range res.Points {
+			if a := res.Points[i].Res.Attribution; a != nil {
+				check(a.WriteJSONL(f))
+			}
+		}
+		check(f.Close())
+	}
+	check(obs.WriteFlight(flightRec, os.Stdout))
 }
 
 func parseInts(fs *flag.FlagSet, csv string) []int {
@@ -252,6 +286,7 @@ func runCrashsweep(args []string) {
 		workloads = fs.String("workloads", "fsim,txdb", "comma-separated workloads to sweep")
 		planPath  = fs.String("fault-plan", "", "layer extra faults from this plan file onto every crash run")
 		breakRec  = fs.Bool("break-recovery", false, "sabotage recovery (test-only; the sweep must then report violations)")
+		flightOut = fs.String("flight-out", "", obsflags.FlightOutHelp)
 	)
 	check(fs.Parse(args))
 	cfg := crashsweep.Config{
@@ -259,6 +294,9 @@ func runCrashsweep(args []string) {
 		Points:        *points,
 		Workloads:     strings.Split(*workloads, ","),
 		BreakRecovery: *breakRec,
+	}
+	if *flightOut != "" {
+		cfg.Flight = telemetry.NewFlightRecorder(telemetry.DefaultFlightCapacity, telemetry.DefaultFlightSnapshots)
 	}
 	if *planPath != "" {
 		f, err := os.Open(*planPath)
@@ -270,6 +308,14 @@ func runCrashsweep(args []string) {
 	rep, err := crashsweep.Run(cfg)
 	check(err)
 	check(rep.Write(os.Stdout))
+	if cfg.Flight != nil {
+		f, err := os.Create(*flightOut)
+		check(err)
+		check(cfg.Flight.WriteDump(f))
+		check(f.Close())
+		fmt.Printf("flight: %d triggers, %d snapshots -> %s\n",
+			cfg.Flight.Triggers(), len(cfg.Flight.Snapshots()), *flightOut)
+	}
 	if *breakRec {
 		// Self-test mode: a sabotaged recovery that produces a clean report
 		// means the harness checks nothing.

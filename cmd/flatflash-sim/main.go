@@ -19,6 +19,7 @@ import (
 
 	"flatflash/internal/core"
 	"flatflash/internal/fault"
+	"flatflash/internal/obsflags"
 	"flatflash/internal/sim"
 	"flatflash/internal/telemetry"
 	"flatflash/internal/trace"
@@ -42,6 +43,7 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON file")
 		metricsOut = flag.String("metrics-out", "", "write epoch-sampled metrics as JSON Lines")
 		metricsEp  = flag.Duration("metrics-epoch", time.Millisecond, "virtual-time metrics sampling epoch")
+		obs        = obsflags.Register(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -94,6 +96,23 @@ func main() {
 	if *traceOut != "" {
 		tracer = telemetry.NewTracer(telemetry.DefaultTracerCapacity)
 		probe = tracer
+	}
+	// Latency attribution and the flight recorder target the FlatFlash
+	// hierarchy's component boundaries; the baselines don't model them.
+	att, flightRec := obs.Build()
+	if att != nil || flightRec != nil {
+		ff, ok := h.(*core.FlatFlash)
+		if !ok {
+			check(fmt.Errorf("-latency-out/-flight-out/-slo require -kind flatflash, not %q", *kind))
+		}
+		if flightRec != nil {
+			// The flight recorder sits ahead of any user probe: it records
+			// every span into its ring and forwards to the chained probe.
+			flightRec.Chain(probe)
+			probe = flightRec
+		}
+		ff.SetFlightRecorder(flightRec)
+		ff.SetAttribution(att)
 	}
 	h.Instrument(probe, reg)
 
@@ -157,6 +176,13 @@ func main() {
 	for _, kv := range c.Snapshot() {
 		fmt.Printf("  %-26s %d\n", kv.Name, kv.Value)
 	}
+
+	if att != nil {
+		att.Finish(h.Now())
+		check(att.WriteBudget(os.Stdout))
+	}
+	check(obs.WriteLatency(att, os.Stdout))
+	check(obs.WriteFlight(flightRec, os.Stdout))
 
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

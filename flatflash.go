@@ -7,6 +7,7 @@ import (
 
 	"flatflash/internal/core"
 	"flatflash/internal/sim"
+	"flatflash/internal/telemetry"
 )
 
 // Kind selects which of the paper's three systems to build.
@@ -137,6 +138,22 @@ func New(cfg Config) (*System, error) {
 
 // Kind returns which system this is.
 func (s *System) Kind() Kind { return s.kind }
+
+// EnableLatencyAttribution attaches a latency attribution engine to a
+// FlatFlash system: every access accumulates a per-component latency
+// breakdown (TLB, DRAM, PCIe link, flash service, ...) into histograms with
+// SLO burn accounting (slo <= 0 disables the SLO). It returns the engine for
+// reports (WriteBudget, WriteJSONL). Only KindFlatFlash supports
+// attribution; other kinds return nil and are unchanged.
+func (s *System) EnableLatencyAttribution(slo time.Duration) *telemetry.Attribution {
+	ff, ok := s.h.(*core.FlatFlash)
+	if !ok {
+		return nil
+	}
+	a := telemetry.NewAttribution(sim.Duration(slo.Nanoseconds()), 0)
+	ff.SetAttribution(a)
+	return a
+}
 
 // Mmap maps size bytes of SSD-backed unified memory.
 func (s *System) Mmap(size uint64) (*Region, error) {

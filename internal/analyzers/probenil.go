@@ -7,26 +7,32 @@ import (
 )
 
 // probenil enforces the nil-safe telemetry pattern: every call through a
-// value of interface type telemetry.Probe must be dominated by a nil check
-// on that exact expression, so a disabled probe costs one pointer compare
-// and zero allocations per access (boxing the arguments of an interface
-// call is itself an allocation). Two guard shapes are accepted:
+// value of one of telemetry's sink interfaces (Probe, Attrib) must be
+// dominated by a nil check on that exact expression, so a disabled sink
+// costs one pointer compare and zero allocations per access (boxing the
+// arguments of an interface call is itself an allocation). Two guard shapes
+// are accepted:
 //
 //	if s.probe != nil { s.probe.Span(...) }     // possibly && more conds
 //	if s.probe == nil { return }                // early exit, then call
 //
-// Calls on concrete probe implementations (e.g. *telemetry.Tracer) are not
-// flagged — only the interface, whose nil case is the disabled path.
+// Calls on concrete implementations (e.g. *telemetry.Tracer,
+// *telemetry.Attribution, whose methods are nil-receiver safe) are not
+// flagged — only the interfaces, whose nil case is the disabled path.
 
 var ProbeNil = &Analyzer{
 	Name: "probenil",
-	Doc: "telemetry.Probe interface calls must be nil-guarded " +
-		"(if p != nil { p.Span(...) }) so a disabled probe costs one compare",
-	// The defining package may call probes it has already validated
+	Doc: "telemetry sink interface calls (Probe, Attrib) must be nil-guarded " +
+		"(if p != nil { p.Span(...) }) so a disabled sink costs one compare",
+	// The defining package may call sinks it has already validated
 	// (e.g. fan-out inside a multi-probe, export of a non-nil tracer).
 	Allowed: []string{"internal/telemetry"},
 	Run:     runProbeNil,
 }
+
+// sinkInterfaces are the telemetry interface names whose call sites the
+// analyzer guards.
+var sinkInterfaces = map[string]bool{"Probe": true, "Attrib": true}
 
 func runProbeNil(p *Pass) {
 	inspectFiles(p.Files, func(n ast.Node, stack []ast.Node) bool {
@@ -39,35 +45,40 @@ func runProbeNil(p *Pass) {
 			return true
 		}
 		recvType := p.Info.TypeOf(sel.X)
-		if recvType == nil || !isProbeInterface(recvType) {
+		iface := sinkInterfaceName(recvType)
+		if iface == "" {
 			return true
 		}
 		recv := types.ExprString(sel.X)
 		if p.guardedByIf(stack, n, recv) || p.guardedByEarlyExit(stack, n, recv) {
 			return true
 		}
-		p.Reportf(call.Pos(), "telemetry.Probe call without nil guard; wrap as `if %s != nil { %s.%s(...) }` (disabled probes must cost one pointer compare)", recv, recv, sel.Sel.Name)
+		p.Reportf(call.Pos(), "telemetry.%s call without nil guard; wrap as `if %s != nil { %s.%s(...) }` (disabled sinks must cost one pointer compare)", iface, recv, recv, sel.Sel.Name)
 		return true
 	})
 }
 
-// isProbeInterface reports whether t is the named interface Probe from a
-// package whose import path is (or ends with) internal/telemetry.
-func isProbeInterface(t types.Type) bool {
+// sinkInterfaceName returns the guarded interface's name ("Probe",
+// "Attrib") when t is one of telemetry's sink interfaces — a named
+// interface from a package whose import path is (or ends with)
+// internal/telemetry — and "" otherwise.
+func sinkInterfaceName(t types.Type) string {
 	named, ok := types.Unalias(t).(*types.Named)
 	if !ok {
-		return false
+		return ""
 	}
 	obj := named.Obj()
-	if obj.Name() != "Probe" || obj.Pkg() == nil {
-		return false
+	if obj.Pkg() == nil || !sinkInterfaces[obj.Name()] {
+		return ""
 	}
 	path := obj.Pkg().Path()
 	if path != "internal/telemetry" && !hasPathSuffix(path, "internal/telemetry") {
-		return false
+		return ""
 	}
-	_, isIface := named.Underlying().(*types.Interface)
-	return isIface
+	if _, isIface := named.Underlying().(*types.Interface); !isIface {
+		return ""
+	}
+	return obj.Name()
 }
 
 func hasPathSuffix(path, suffix string) bool {

@@ -17,6 +17,15 @@ type Probe interface {
 	Event(kind SpanKind, track Track, at Time, arg int64)
 }
 
+// Component is a latency-attribution component id.
+type Component uint8
+
+// Attrib receives latency-attribution charges; like Probe, all call sites
+// outside this package guard with a nil check.
+type Attrib interface {
+	Charge(comp Component, d int64)
+}
+
 // Multi fans out to probes its constructor already validated as non-nil.
 type Multi struct{ ps []Probe }
 

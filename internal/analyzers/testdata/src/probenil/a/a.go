@@ -6,6 +6,7 @@ import telemetry "flatflash/internal/telemetry"
 
 type dev struct {
 	probe telemetry.Probe
+	att   telemetry.Attrib
 	busy  bool
 }
 
@@ -56,4 +57,27 @@ func (d *dev) localCopy(now telemetry.Time) {
 func (d *dev) suppressed(now telemetry.Time) {
 	//lint:ignore probenil caller contract guarantees a probe is attached
 	d.probe.Event(0, 0, now, 5)
+}
+
+func (d *dev) attribUnguarded(lat int64) {
+	d.att.Charge(0, lat) // want "telemetry.Attrib call without nil guard"
+}
+
+func (d *dev) attribWrongGuard(other *dev, lat int64) {
+	if other.att != nil {
+		d.att.Charge(1, lat) // want "telemetry.Attrib call without nil guard"
+	}
+}
+
+func (d *dev) attribGuarded(lat int64) {
+	if d.att != nil {
+		d.att.Charge(2, lat)
+	}
+}
+
+func (d *dev) attribEarlyExit(lat int64) {
+	if d.att == nil {
+		return
+	}
+	d.att.Charge(3, lat)
 }

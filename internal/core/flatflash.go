@@ -49,8 +49,10 @@ type FlatFlash struct {
 	faults         *fault.Engine // nil = no injection
 	brokenRecovery bool          // test-only: sabotage Recover (see BreakRecoveryForTesting)
 
-	probe telemetry.Probe     // nil when telemetry is disabled
-	reg   *telemetry.Registry // nil when metrics are disabled
+	probe  telemetry.Probe           // nil when telemetry is disabled
+	reg    *telemetry.Registry       // nil when metrics are disabled
+	att    *telemetry.Attribution    // nil when latency attribution is disabled
+	flight *telemetry.FlightRecorder // nil when the flight recorder is detached
 
 	c   *stats.Counters
 	hot hotCounters
@@ -190,6 +192,7 @@ func NewFlatFlash(cfg Config) (*FlatFlash, error) {
 	s.hot.resolve(s.c)
 	s.regAccesses = new(int64)
 	s.self = &Tenant{s: s, id: 0, as: as, clock: s.clock, track: telemetry.TrackCPU}
+	s.self.attachAttrib(nil)
 	s.tenants = []*Tenant{s.self}
 	return s, nil
 }
@@ -264,6 +267,45 @@ func (s *FlatFlash) Instrument(probe telemetry.Probe, reg *telemetry.Registry) {
 	s.regAccesses = reg.CounterHandle("accesses")
 }
 
+// SetAttribution attaches (or with nil detaches) the latency attribution
+// engine: every tenant gets an account with pre-resolved hot-path charge
+// cells, and the substrates (link, PLB, SSD-Cache, FTL, NAND device) charge
+// their service times through the nil-guarded Attrib interface. The core's
+// own hooks go through the concrete *Attribution, whose methods are
+// nil-receiver safe, so the disabled configuration stays zero-cost.
+func (s *FlatFlash) SetAttribution(a *telemetry.Attribution) {
+	s.att = a
+	var sink telemetry.Attrib
+	if a != nil {
+		sink = a
+		a.SetFlightRecorder(s.flight)
+	}
+	s.link.SetAttrib(sink)
+	s.plb.SetAttrib(sink)
+	s.cach.SetAttrib(sink)
+	s.ftl.SetAttrib(sink)
+	s.ftl.Device().SetAttrib(sink)
+	for _, t := range s.tenants {
+		t.attachAttrib(a)
+	}
+}
+
+// Attribution returns the attached attribution engine, or nil.
+func (s *FlatFlash) Attribution() *telemetry.Attribution { return s.att }
+
+// SetFlightRecorder attaches (or with nil detaches) the anomaly flight
+// recorder. The recorder is triggered by invariant-check failures after
+// recovery and — when an attribution engine with an SLO is attached — by
+// epoch-boundary p99 violations; fault events self-trigger when the recorder
+// is also installed as the probe (Instrument).
+func (s *FlatFlash) SetFlightRecorder(r *telemetry.FlightRecorder) {
+	s.flight = r
+	s.att.SetFlightRecorder(r)
+}
+
+// FlightRecorder returns the attached flight recorder, or nil.
+func (s *FlatFlash) FlightRecorder() *telemetry.FlightRecorder { return s.flight }
+
 // Advance implements Hierarchy.
 func (s *FlatFlash) Advance(d sim.Duration) {
 	s.clock.Advance(d)
@@ -332,6 +374,7 @@ func (s *FlatFlash) accessFor(t *Tenant, addr uint64, buf []byte, isWrite bool) 
 	total := len(buf)
 	ps, ls := s.cfg.PageSize, s.cfg.CacheLineSize
 	fastOK := !s.cfg.DisableFastPath && !forceSlowPath && s.faults == nil
+	s.att.Begin(t.att)
 	for len(buf) > 0 {
 		vpn := addr / uint64(ps)
 		off := int(addr % uint64(ps))
@@ -347,6 +390,7 @@ func (s *FlatFlash) accessFor(t *Tenant, addr uint64, buf []byte, isWrite bool) 
 					cn = len(seg)
 				}
 				if err := s.accessChunkFor(t, vpn, off, seg[:cn], isWrite); err != nil {
+					s.att.Abandon()
 					return 0, err
 				}
 				off += cn
@@ -360,6 +404,7 @@ func (s *FlatFlash) accessFor(t *Tenant, addr uint64, buf []byte, isWrite bool) 
 		s.probe.Span(telemetry.SpanAccess, t.track, start, t.clock.Now(), int64(total))
 	}
 	s.clock.AdvanceTo(t.clock.Now())
+	s.att.End(t.clock.Now().Sub(start), s.clock.Now())
 	if s.arb != nil {
 		s.arb.Tick(s.clock.Now())
 	}
@@ -401,6 +446,8 @@ func (s *FlatFlash) fastDRAMSpan(t *Tenant, vpn uint64, off int, seg []byte, isW
 	if derr != nil {
 		return false
 	}
+	*t.attTLB += int64(tLat)
+	*t.attDRAM += int64(lat) * lines
 	data, _ := s.dram.Data(pte.Frame)
 	if isWrite {
 		copy(data[off:], seg)
@@ -444,6 +491,7 @@ func (s *FlatFlash) accessChunkFor(t *Tenant, vpn uint64, off int, b []byte, isW
 	if tLat > 0 && s.probe != nil {
 		s.probe.Span(telemetry.SpanTranslate, t.track, now, now.Add(tLat), int64(vpn))
 	}
+	*t.attTLB += int64(tLat)
 	now = now.Add(tLat)
 
 	if pte.Loc == vm.InDRAM {
@@ -451,6 +499,7 @@ func (s *FlatFlash) accessChunkFor(t *Tenant, vpn uint64, off int, b []byte, isW
 		if derr != nil {
 			return derr
 		}
+		*t.attDRAM += int64(lat)
 		data, _ := s.dram.Data(pte.Frame)
 		if isWrite {
 			copy(data[off:], b)
@@ -477,6 +526,7 @@ func (s *FlatFlash) accessChunkFor(t *Tenant, vpn uint64, off int, b []byte, isW
 	switch s.plb.Access(now, lpn, off, b, isWrite) {
 	case plb.RouteDRAM:
 		*s.hot.plbRedirects++
+		*t.attPLB += int64(s.cfg.DRAMLat)
 		if s.probe != nil {
 			s.probe.Span(telemetry.SpanPLBRedirect, t.track, now, now.Add(s.cfg.DRAMLat), int64(lpn))
 		}
@@ -506,8 +556,13 @@ func (s *FlatFlash) accessChunkFor(t *Tenant, vpn uint64, off int, b []byte, isW
 			t.clock.AdvanceTo(hostDone)
 			return nil
 		}
+		// The posted write completes at hostDone regardless of the SSD-side
+		// fill below: that work is off the host's critical path, so its
+		// charges go to the background account.
+		s.att.Suspend()
 		e, _, hit := s.ensureCachedFor(t, now, lpn)
 		if e == nil {
+			s.att.Resume()
 			return ErrNoSSDSpace
 		}
 		w := b
@@ -524,6 +579,7 @@ func (s *FlatFlash) accessChunkFor(t *Tenant, vpn uint64, off int, b []byte, isW
 		}
 		s.countHit(hit)
 		s.maybePromote(t, now, vpn, lpn, pte, e)
+		s.att.Resume()
 		t.clock.AdvanceTo(hostDone)
 		return nil
 	}
@@ -533,6 +589,7 @@ func (s *FlatFlash) accessChunkFor(t *Tenant, vpn uint64, off int, b []byte, isW
 		if data, ok := s.hostCache.lookup(lpn, line); ok {
 			copy(b, data[off-lineStart:off-lineStart+len(b)])
 			*s.hot.hostcacheHits++
+			*t.attHostCache += int64(s.cfg.HostCacheLatency)
 			if s.probe != nil {
 				s.probe.Span(telemetry.SpanHostCacheHit, t.track, now, now.Add(s.cfg.HostCacheLatency), int64(lpn))
 			}
@@ -551,7 +608,11 @@ func (s *FlatFlash) accessChunkFor(t *Tenant, vpn uint64, off int, b []byte, isW
 	}
 	*s.hot.mmioReads++
 	s.countHit(hit)
+	// Promotion kickoff is off the critical path (the no-PLB stall ablation
+	// charges the tenant's promote cell directly, bypassing the suspension).
+	s.att.Suspend()
 	s.maybePromote(t, now, vpn, lpn, pte, e)
+	s.att.Resume()
 	t.clock.AdvanceTo(done)
 	return nil
 }
@@ -593,12 +654,15 @@ func (s *FlatFlash) ensureCachedFor(t *Tenant, now sim.Time, lpn uint32) (*ssdca
 		}
 		if victim.Dirty {
 			// Flash write happens inside the SSD; it occupies the device
-			// but the host does not wait for it.
+			// but the host does not wait for it — attribution charges go
+			// to the background account.
+			s.att.Suspend()
 			if _, werr := s.ftl.WritePage(done, victim.LPN, victim.Data); werr != nil {
 				// Device full; the data stays only in the cache copy we
 				// just dropped — surface loudly in counters.
 				*s.hot.writebackFailures++
 			}
+			s.att.Resume()
 			*s.hot.cacheWritebacks++
 		}
 	}
@@ -688,7 +752,10 @@ func (s *FlatFlash) promoteStalling(t *Tenant, now sim.Time, vpn uint64, lpn uin
 	if s.probe != nil {
 		s.probe.Span(telemetry.SpanPromotionStall, t.track, now, now.Add(s.cfg.PLB.PromotionLatency).Add(upd), int64(lpn))
 	}
-	// CPU waits for copy + mapping update.
+	// CPU waits for copy + mapping update. The stall is on the critical path
+	// even though promotion kickoff runs under attribution suspension, so it
+	// charges the tenant's promote cell directly.
+	*t.attPromote += int64(s.cfg.PLB.PromotionLatency + upd)
 	t.clock.AdvanceTo(now.Add(s.cfg.PLB.PromotionLatency).Add(upd))
 }
 
@@ -853,6 +920,20 @@ func (s *FlatFlash) Counters() *stats.Counters {
 	if s.pol != nil {
 		out.Add("policy_promotions", s.pol.Promotions())
 		out.Add("policy_threshold", int64(s.pol.Threshold()))
+	}
+	if s.att != nil && s.att.SLO() > 0 {
+		var viol, burn, bad int64
+		for _, acct := range s.att.Accounts() {
+			viol += acct.Violations()
+			burn += acct.BurnNs()
+			bad += acct.BadEpochs()
+		}
+		out.Add("slo_violations", viol)
+		out.Add("slo_burn_ns", burn)
+		out.Add("slo_bad_epochs", bad)
+	}
+	if s.flight != nil {
+		out.Add("flight_triggers", s.flight.Triggers())
 	}
 	if s.faults != nil {
 		fs := s.faults.Stats()

@@ -43,6 +43,8 @@ func (s *FlatFlash) persistFor(t *Tenant, addr uint64, size int) (sim.Duration, 
 		}
 	}
 	lines := (int(addr%uint64(s.cfg.CacheLineSize)) + size + s.cfg.CacheLineSize - 1) / s.cfg.CacheLineSize
+	s.att.Begin(t.att)
+	s.att.Charge(telemetry.CompPersist, sim.Duration(lines)*FlushLineCost)
 	now := t.clock.Now().Add(sim.Duration(lines) * FlushLineCost)
 	// Write-verify read: a non-posted MMIO read that drains all posted
 	// writes ahead of it in the host bridge.
@@ -54,6 +56,7 @@ func (s *FlatFlash) persistFor(t *Tenant, addr uint64, size int) (sim.Duration, 
 	}
 	t.clock.AdvanceTo(now)
 	s.clock.AdvanceTo(t.clock.Now())
+	s.att.End(t.clock.Now().Sub(start), s.clock.Now())
 	return t.clock.Now().Sub(start), nil
 }
 
@@ -72,21 +75,29 @@ func (s *FlatFlash) syncPagesFor(t *Tenant, addr uint64, n int) (sim.Duration, e
 	start := t.clock.Now()
 	vpn := addr / uint64(s.cfg.PageSize)
 	now := t.clock.Now()
+	s.att.Begin(t.att)
 	for i := 0; i < n; i++ {
 		// A power loss can land between page transfers: earlier pages are
 		// already in the persistence domain, later ones are not.
 		if err := s.checkCrash(now); err != nil {
+			s.att.Abandon()
 			return 0, err
 		}
 		pte, tLat, err := t.as.Translate(vpn + uint64(i))
 		if err != nil {
+			s.att.Abandon()
 			return 0, ErrOutOfRange
 		}
+		s.att.Charge(telemetry.CompTLB, tLat)
 		now = now.Add(tLat)
 		if pte.Loc == vm.InDRAM && pte.Dirty {
 			data, _ := s.dram.Data(pte.Frame)
+			// The page DMA is on the sync's critical path; landing the page
+			// in the SSD-Cache afterwards is controller-side background work.
 			now = s.link.DMAPage(now)
+			s.att.Suspend()
 			s.writeBackToCache(now, pte.SSDPage, data, t.id)
+			s.att.Resume()
 			pte.Dirty = false
 			*s.hot.syncPageTransfers++
 		}
@@ -99,6 +110,7 @@ func (s *FlatFlash) syncPagesFor(t *Tenant, addr uint64, n int) (sim.Duration, e
 	}
 	t.clock.AdvanceTo(now)
 	s.clock.AdvanceTo(t.clock.Now())
+	s.att.End(t.clock.Now().Sub(start), s.clock.Now())
 	return t.clock.Now().Sub(start), nil
 }
 
@@ -142,6 +154,9 @@ func (s *FlatFlash) Crash() {
 	if s.crashed {
 		return
 	}
+	// Any access window in flight dies with the power: its partial charges
+	// are discarded rather than recorded as a completed access.
+	s.att.Abandon()
 	// In-flight promotions are aborted, not completed: the PLB lives in the
 	// host bridge, outside the persistence domain. PTEs still point at the
 	// SSD, so no mapping change is needed — just reclaim the frames.
@@ -205,6 +220,7 @@ func (s *FlatFlash) Recover() {
 	s.c.Add("recovery_l2p_entries", int64(s.ftl.RebuildL2P()))
 	if err := s.CheckInvariants(); err != nil {
 		s.c.Add("recovery_invariant_violations", 1)
+		s.flight.Trigger("invariant", s.clock.Now(), 0)
 	}
 	s.c.Add("recoveries", 1)
 	s.crashed = false

@@ -33,6 +33,7 @@ import (
 	"flatflash/internal/fault"
 	"flatflash/internal/fsim"
 	"flatflash/internal/sim"
+	"flatflash/internal/telemetry"
 )
 
 // Workload names accepted in Config.Workloads.
@@ -60,6 +61,11 @@ type Config struct {
 	// BreakRecovery enables the test-only sabotaged Recover; the sweep must
 	// then report violations (used to prove the harness catches real bugs).
 	BreakRecovery bool
+
+	// Flight attaches a deterministic flight recorder to every crash run's
+	// hierarchy: injected faults and recovery invariant failures trigger
+	// pre-anomaly span dumps. May be nil.
+	Flight *telemetry.FlightRecorder
 
 	// Hierarchy overrides the hierarchy configuration (zero value = a small
 	// battery-backed FlatFlash suitable for sweeps).
@@ -185,6 +191,18 @@ func sampleTimes(start, end sim.Time, n int) []sim.Time {
 		out[i] = start.Add(span * sim.Duration(i+1) / sim.Duration(n+1))
 	}
 	return out
+}
+
+// instrument attaches the configured flight recorder (if any) to one crash
+// run's hierarchy: the recorder becomes the run's probe, so fault events
+// (crash, NAND failures, MMIO drops) self-trigger anomaly snapshots, and
+// recovery invariant failures dump the pre-anomaly window.
+func (c Config) instrument(ff *core.FlatFlash) {
+	if c.Flight == nil {
+		return
+	}
+	ff.Instrument(c.Flight, nil)
+	ff.SetFlightRecorder(c.Flight)
 }
 
 // plan builds the fault plan for one crash run.

@@ -100,6 +100,7 @@ func fsimPoint(cfg Config, idx int, at sim.Time) (PointResult, error) {
 	}
 	ff.SetFaults(eng)
 	ff.BreakRecoveryForTesting(cfg.BreakRecovery)
+	cfg.instrument(ff)
 
 	opsDone := 0
 	for i := 0; i < cfg.FsimOps; i++ {

@@ -70,6 +70,7 @@ func txdbPoint(cfg Config, idx int, at sim.Time) (PointResult, error) {
 	}
 	ff.SetFaults(eng)
 	ff.BreakRecoveryForTesting(cfg.BreakRecovery)
+	cfg.instrument(ff)
 	st, err := txdb.NewStepper(ff, cfg.txdbConfig())
 	if err != nil {
 		return res, err

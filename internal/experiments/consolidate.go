@@ -31,6 +31,9 @@ func Consolidate(s Scale) *Report {
 		Workers:      4,
 		Probe:        telProbe,
 		Registry:     telReg,
+		Attrib:       attSink != nil,
+		SLO:          attSink.SLO(),
+		Flight:       attRec,
 	}
 	rep := &Report{
 		ID:     "consolidate",
@@ -59,6 +62,22 @@ func Consolidate(s Scale) *Report {
 			fmt.Sprintf("fairness[n=%d,%s]", p.TenantCount, p.MixSpec),
 			fmt.Sprintf("%.3f", p.Res.Fairness),
 		)
+	}
+	if attSink != nil {
+		// Each sweep point carries its own attribution engine; surface its
+		// per-tenant latency-budget table in the report footnotes.
+		for _, p := range res.Points {
+			if p.Res.Attribution == nil {
+				continue
+			}
+			var b strings.Builder
+			if err := p.Res.Attribution.WriteBudget(&b); err == nil {
+				rep.AddNote("latency budget [n=%d,%s]:", p.TenantCount, p.MixSpec)
+				for _, ln := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+					rep.AddNote("%s", ln)
+				}
+			}
+		}
 	}
 	rep.AddNote("slowdown = consolidated mean latency / solo mean latency (same workload, same seed, private idle device)")
 	rep.AddNote("fairness = Jain index over per-tenant normalized progress; 1.0 = every tenant pays the same consolidation cost")

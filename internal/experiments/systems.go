@@ -17,6 +17,8 @@ var sysNames = []string{"FlatFlash", "UnifiedMMap", "TraditionalStack"}
 var (
 	telProbe telemetry.Probe
 	telReg   *telemetry.Registry
+	attSink  *telemetry.Attribution
+	attRec   *telemetry.FlightRecorder
 )
 
 // SetTelemetry attaches a span probe and metrics registry to every
@@ -25,6 +27,16 @@ var (
 // sinks; the registry disambiguates duplicate gauge names deterministically.
 func SetTelemetry(p telemetry.Probe, r *telemetry.Registry) {
 	telProbe, telReg = p, r
+}
+
+// SetAttribution attaches a latency attribution engine and flight recorder
+// to every FlatFlash hierarchy built by subsequent experiment runs
+// (flatflash-bench's -latency-out/-flight-out/-slo flags). Either may be
+// nil. Hierarchies share the sinks, so the engine aggregates per-component
+// latency across every FlatFlash instance an experiment builds; the
+// consolidate sweep additionally gets per-point engines through mtsim.
+func SetAttribution(a *telemetry.Attribution, r *telemetry.FlightRecorder) {
+	attSink, attRec = a, r
 }
 
 // build constructs one hierarchy by name from cfg.
@@ -46,8 +58,19 @@ func build(name string, cfg core.Config) (core.Hierarchy, error) {
 	if err != nil {
 		return nil, err
 	}
-	if telProbe != nil || telReg != nil {
-		h.Instrument(telProbe, telReg)
+	probe := telProbe
+	if ff, ok := h.(*core.FlatFlash); ok && (attSink != nil || attRec != nil) {
+		if attRec != nil {
+			// The flight recorder sits ahead of any user probe: it records
+			// every span into its ring and forwards to the chained probe.
+			attRec.Chain(telProbe)
+			probe = attRec
+		}
+		ff.SetFlightRecorder(attRec)
+		ff.SetAttribution(attSink)
+	}
+	if probe != nil || telReg != nil {
+		h.Instrument(probe, telReg)
 	}
 	return h, nil
 }

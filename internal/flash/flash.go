@@ -14,6 +14,7 @@ import (
 
 	"flatflash/internal/fault"
 	"flatflash/internal/sim"
+	"flatflash/internal/telemetry"
 )
 
 // PageAddr identifies a physical flash page on the device.
@@ -98,7 +99,8 @@ type Device struct {
 	erases []int64 // per-block erase count (wear)
 	chans  []*sim.Resource
 
-	faults *fault.Engine // nil = no injection
+	faults *fault.Engine    // nil = no injection
+	att    telemetry.Attrib // nil when latency attribution is disabled
 
 	reads, programs          int64
 	programFails, eraseFails int64
@@ -127,6 +129,11 @@ func (d *Device) Config() Config { return d.cfg }
 
 // SetFaults attaches a fault-injection engine (nil disables injection).
 func (d *Device) SetFaults(e *fault.Engine) { d.faults = e }
+
+// SetAttrib attaches a latency attribution sink: page reads and programs
+// charge their issue-to-completion time (channel queueing included) to the
+// flash component. A nil sink disables attribution.
+func (d *Device) SetAttrib(a telemetry.Attrib) { d.att = a }
 
 // BlockOf returns the erase block containing page p.
 func (d *Device) BlockOf(p PageAddr) int { return int(p) / d.cfg.PagesPerBlock }
@@ -161,6 +168,9 @@ func (d *Device) Read(now sim.Time, p PageAddr, buf []byte) (sim.Time, error) {
 		copy(buf, d.data[p])
 	}
 	d.reads++
+	if d.att != nil {
+		d.att.Charge(telemetry.CompFlash, done.Sub(now))
+	}
 	return done, nil
 }
 
@@ -178,6 +188,9 @@ func (d *Device) Program(now sim.Time, p PageAddr, data []byte) (sim.Time, error
 		return now, ErrNotErased
 	}
 	_, done := d.channelOf(p).Acquire(now, d.cfg.ProgramLatency)
+	if d.att != nil {
+		d.att.Charge(telemetry.CompFlash, done.Sub(now))
+	}
 	if d.faults.FailProgram(now) {
 		// A failed program leaves the page in an untrustworthy, non-erased
 		// state (data nil reads back as 0xFF). The FTL must retire the block.

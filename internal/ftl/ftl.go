@@ -106,7 +106,8 @@ type FTL struct {
 
 	dirtySrc DirtySource
 	inGC     bool
-	probe    telemetry.Probe // nil when telemetry is disabled
+	probe    telemetry.Probe  // nil when telemetry is disabled
+	att      telemetry.Attrib // nil when latency attribution is disabled
 
 	hostWrites  int64 // page writes requested by the host layers
 	flashWrites int64 // page programs issued to the device
@@ -168,6 +169,11 @@ func (f *FTL) SetDirtySource(src DirtySource) { f.dirtySrc = src }
 // on the flash track. A nil probe disables emission.
 func (f *FTL) SetProbe(p telemetry.Probe) { f.probe = p }
 
+// SetAttrib attaches a latency attribution sink: host writes charge any
+// garbage-collection stall ahead of them to the GC component (NAND service
+// itself is charged by the flash device). A nil sink disables attribution.
+func (f *FTL) SetAttrib(a telemetry.Attrib) { f.att = a }
+
 // IsMapped reports whether logical page lpn has ever been written.
 func (f *FTL) IsMapped(lpn uint32) bool {
 	return int(lpn) < len(f.l2p) && f.l2p[lpn] != flash.InvalidPage
@@ -220,10 +226,14 @@ func (f *FTL) WritePage(now sim.Time, lpn uint32, data []byte) (sim.Time, error)
 	}
 	if !f.inGC {
 		f.hostWrites++
+		pre := now
 		var err error
 		now, err = f.maybeGC(now)
 		if err != nil {
 			return now, err
+		}
+		if f.att != nil && now.After(pre) {
+			f.att.Charge(telemetry.CompGC, now.Sub(pre))
 		}
 	}
 	p, done, err := f.programAt(now, data)

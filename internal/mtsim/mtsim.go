@@ -80,6 +80,19 @@ type Config struct {
 	// zero either way). Both may be nil.
 	Probe    telemetry.Probe
 	Registry *telemetry.Registry
+
+	// Attrib attaches a latency attribution engine to the shared run: every
+	// op accumulates a per-component latency breakdown into per-tenant
+	// histograms, rendered as the report's latency-budget table. SLO > 0
+	// implies Attrib and enables SLO violation/burn accounting plus
+	// p99-over-SLO anomaly triggers at epoch boundaries. Like Probe and
+	// Registry, attribution instruments the shared run only.
+	Attrib bool
+	SLO    sim.Duration
+	// Flight attaches a deterministic flight recorder to the shared run
+	// (chained ahead of Probe when both are set); anomaly triggers dump the
+	// pre-anomaly span window. May be nil.
+	Flight *telemetry.FlightRecorder
 }
 
 // Validate checks the configuration.
@@ -217,7 +230,20 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ff.Instrument(cfg.Probe, cfg.Registry)
+	probe := cfg.Probe
+	if cfg.Flight != nil {
+		// The flight recorder sits ahead of any user probe: it records every
+		// span into its ring and forwards to the chained probe.
+		cfg.Flight.Chain(cfg.Probe)
+		probe = cfg.Flight
+	}
+	ff.Instrument(probe, cfg.Registry)
+	ff.SetFlightRecorder(cfg.Flight)
+	if cfg.Attrib || cfg.SLO > 0 {
+		att := telemetry.NewAttribution(cfg.SLO, 0)
+		ff.SetAttribution(att)
+		res.Attribution = att
+	}
 	actors := make([]*core.Tenant, len(cfg.Tenants))
 	actors[0] = ff.SelfTenant()
 	for i := 1; i < len(cfg.Tenants); i++ {
@@ -296,6 +322,7 @@ func Run(cfg Config) (*Result, error) {
 			tr.Budget = arb.Budget(i)
 		}
 	}
+	ff.Attribution().Finish(ff.Now())
 	res.Makespan = ff.Now().Sub(0)
 	res.Counters = ff.Counters()
 	res.Fairness = stats.JainFairness(progress(res.Tenants))

@@ -6,6 +6,7 @@ import (
 
 	"flatflash/internal/sim"
 	"flatflash/internal/stats"
+	"flatflash/internal/telemetry"
 )
 
 // TenantResult is one tenant's QoS outcome: its shared-run latency profile
@@ -59,6 +60,10 @@ type Result struct {
 	Makespan sim.Duration
 	// Counters is the shared device's counter snapshot.
 	Counters *stats.Counters
+	// Attribution is the shared run's latency attribution engine (nil unless
+	// Config.Attrib or Config.SLO enabled it); Write renders its per-tenant
+	// latency-budget table.
+	Attribution *telemetry.Attribution
 }
 
 // MaxSlowdown returns the worst per-tenant slowdown (the consolidation
@@ -88,6 +93,11 @@ func (r *Result) Write(w io.Writer) error {
 			int64(tr.Shared.Mean()), int64(tr.Shared.Percentile(50)), int64(tr.Shared.Percentile(99)),
 			int64(tr.Solo.Mean()), int64(tr.Solo.Percentile(99)),
 			tr.DRAMHits, tr.Promotions, tr.Budget); err != nil {
+			return err
+		}
+	}
+	if r.Attribution != nil {
+		if err := r.Attribution.WriteBudget(w); err != nil {
 			return err
 		}
 	}

@@ -43,6 +43,16 @@ type SweepConfig struct {
 	// Config.Probe). Both may be nil.
 	Probe    telemetry.Probe
 	Registry *telemetry.Registry
+
+	// Attrib and SLO enable latency attribution on every point's shared run
+	// (see Config.Attrib). Each point gets a private engine, carried on its
+	// Result, so attribution alone does not force sequential execution.
+	Attrib bool
+	SLO    sim.Duration
+	// Flight attaches one shared flight recorder to every point's shared
+	// run; it is a single-writer sink, so setting it forces sequential
+	// execution like Probe and Registry do.
+	Flight *telemetry.FlightRecorder
 }
 
 // Validate checks the sweep grid.
@@ -99,6 +109,9 @@ func (c SweepConfig) pointConfig(tenants int, mixSpec string, seed uint64) Confi
 		DisableArbiter: c.DisableArbiter,
 		Probe:          c.Probe,
 		Registry:       c.Registry,
+		Attrib:         c.Attrib,
+		SLO:            c.SLO,
+		Flight:         c.Flight,
 	}
 }
 
@@ -119,7 +132,7 @@ func Sweep(cfg SweepConfig) (*SweepResult, error) {
 	}
 
 	workers := cfg.Workers
-	if workers <= 1 || cfg.Probe != nil || cfg.Registry != nil {
+	if workers <= 1 || cfg.Probe != nil || cfg.Registry != nil || cfg.Flight != nil {
 		workers = 1
 	}
 	if workers > len(points) {

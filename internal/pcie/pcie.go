@@ -58,8 +58,9 @@ func (c Config) Validate() error {
 type Link struct {
 	cfg    Config
 	res    *sim.Resource
-	probe  telemetry.Probe // nil when telemetry is disabled
-	faults *fault.Engine   // nil = no injection
+	probe  telemetry.Probe  // nil when telemetry is disabled
+	att    telemetry.Attrib // nil when latency attribution is disabled
+	faults *fault.Engine    // nil = no injection
 
 	mmioReads, mmioWrites, dmaPages, persistTagged int64
 	mmioDropped, mmioTorn                          int64
@@ -85,6 +86,11 @@ func (l *Link) SetProbe(p telemetry.Probe) { l.probe = p }
 // MMIO writes (nil disables injection).
 func (l *Link) SetFaults(e *fault.Engine) { l.faults = e }
 
+// SetAttrib attaches a latency attribution sink: every link transaction
+// charges its issue-to-completion time (occupancy queueing included) to the
+// link component. A nil sink disables attribution.
+func (l *Link) SetAttrib(a telemetry.Attrib) { l.att = a }
+
 // MMIORead performs a non-posted cache-line read issued at now; the
 // returned time is when the completion arrives back at the host.
 // persist indicates the packet carried the P attribute bit.
@@ -97,6 +103,9 @@ func (l *Link) MMIORead(now sim.Time, persist bool) sim.Time {
 	done := start.Add(l.cfg.MMIOReadLatency)
 	if l.probe != nil {
 		l.probe.Span(telemetry.SpanMMIORead, telemetry.TrackPCIe, now, done, persistArg(persist))
+	}
+	if l.att != nil {
+		l.att.Charge(telemetry.CompLink, done.Sub(now))
 	}
 	return done
 }
@@ -132,6 +141,9 @@ func (l *Link) MMIOWriteChecked(now sim.Time, persist bool) (sim.Time, fault.Wri
 	if l.probe != nil {
 		l.probe.Span(telemetry.SpanMMIOWrite, telemetry.TrackPCIe, now, done, persistArg(persist))
 	}
+	if l.att != nil {
+		l.att.Charge(telemetry.CompLink, done.Sub(now))
+	}
 	return done, outcome
 }
 
@@ -143,6 +155,9 @@ func (l *Link) DMAPage(now sim.Time) sim.Time {
 	done := start.Add(l.cfg.DMAPageLatency)
 	if l.probe != nil {
 		l.probe.Span(telemetry.SpanDMAPage, telemetry.TrackPCIe, now, done, 0)
+	}
+	if l.att != nil {
+		l.att.Charge(telemetry.CompLink, done.Sub(now))
 	}
 	return done
 }

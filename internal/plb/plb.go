@@ -97,7 +97,8 @@ type PLB struct {
 	cfg     Config
 	entries []entry
 	nLines  int
-	probe   telemetry.Probe // nil when telemetry is disabled
+	probe   telemetry.Probe  // nil when telemetry is disabled
+	att     telemetry.Attrib // nil when latency attribution is disabled
 
 	// pending counts valid entries and nextDeadline is the earliest deadline
 	// among them, so Expired — polled on every access — is a two-compare
@@ -128,6 +129,12 @@ func (p *PLB) Config() Config { return p.cfg }
 // SetProbe attaches a telemetry probe: one span per promotion flight on the
 // promotion track, plus completion events. A nil probe disables emission.
 func (p *PLB) SetProbe(pr telemetry.Probe) { p.probe = pr }
+
+// SetAttrib attaches a latency attribution sink: each promotion flight
+// charges its duration to the promotion component (off the critical path,
+// the hierarchy suspends attribution around promotion kickoff, so the charge
+// lands on the background account). A nil sink disables attribution.
+func (p *PLB) SetAttrib(a telemetry.Attrib) { p.att = a }
 
 // Free reports how many entries are available.
 func (p *PLB) Free() int {
@@ -202,6 +209,9 @@ func (p *PLB) Start(now sim.Time, lpn uint32, frame int, src, dst []byte, srcDir
 	p.started++
 	if p.probe != nil {
 		p.probe.Span(telemetry.SpanPromotion, telemetry.TrackPromo, now, slot.deadline, int64(lpn))
+	}
+	if p.att != nil {
+		p.att.Charge(telemetry.CompPromote, p.cfg.PromotionLatency)
 	}
 	return nil
 }

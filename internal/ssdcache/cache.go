@@ -97,8 +97,9 @@ type Cache struct {
 	nsets int
 	tick  uint64
 
-	probe telemetry.Probe // nil when telemetry is disabled
-	now   func() sim.Time // clock source for event timestamps
+	probe telemetry.Probe  // nil when telemetry is disabled
+	att   telemetry.Attrib // nil when latency attribution is disabled
+	now   func() sim.Time  // clock source for event timestamps
 
 	// spare is a recycled page buffer: Remove and eviction stash the
 	// displaced entry's buffer here and the next Insert reuses it, so
@@ -131,6 +132,11 @@ func (c *Cache) SetProbe(p telemetry.Probe, now func() sim.Time) {
 	c.probe, c.now = p, now
 }
 
+// SetAttrib attaches a latency attribution sink: each Lookup hit charges
+// the cache's internal access cost to the cache-fill component. A nil sink
+// disables attribution.
+func (c *Cache) SetAttrib(a telemetry.Attrib) { c.att = a }
+
 //flatflash:hotpath
 func (c *Cache) setOf(lpn uint32) int { return int(lpn) % c.nsets }
 
@@ -150,6 +156,9 @@ func (c *Cache) Lookup(lpn uint32) (*Entry, bool) {
 			e.used = c.tick
 			if c.probe != nil {
 				c.probe.Event(telemetry.EvCacheHit, telemetry.TrackSSD, c.now(), int64(lpn))
+			}
+			if c.att != nil {
+				c.att.Charge(telemetry.CompCacheFill, AccessCost)
 			}
 			return e, true
 		}

@@ -87,6 +87,11 @@ func (h *Histogram) Record(d sim.Duration) {
 // Count returns the number of samples recorded.
 func (h *Histogram) Count() int64 { return h.total }
 
+// Sum returns the exact sum of all samples. Unlike percentiles, sums do not
+// pass through the bucketing, so callers can reconcile component sums against
+// an end-to-end total exactly.
+func (h *Histogram) Sum() int64 { return h.sum }
+
 // Mean returns the exact arithmetic mean of the samples (sums are exact;
 // only percentiles are bucketed).
 func (h *Histogram) Mean() sim.Duration {

@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"testing"
+
+	"flatflash/internal/sim"
+)
+
+// TestHistogramPowerOfTwoBoundaries records values straddling power-of-two
+// bucket boundaries and checks the invariants the log-bucketing must keep:
+// exact count/sum/min/max, and percentile estimates within one bucket width
+// of the recorded value.
+func TestHistogramPowerOfTwoBoundaries(t *testing.T) {
+	for _, base := range []int64{32, 64, 1024, 1 << 20, 1 << 40} {
+		for _, v := range []int64{base - 1, base, base + 1} {
+			h := NewHistogram()
+			h.Record(sim.Duration(v))
+			if h.Count() != 1 || h.Sum() != v {
+				t.Fatalf("v=%d: count=%d sum=%d", v, h.Count(), h.Sum())
+			}
+			if h.Min() != sim.Duration(v) || h.Max() != sim.Duration(v) {
+				t.Fatalf("v=%d: min=%d max=%d", v, h.Min(), h.Max())
+			}
+			got := int64(h.Percentile(50))
+			// Relative quantile error is bounded by one linear sub-bucket:
+			// 1/32 of the value's power-of-two range.
+			slack := v/16 + 1
+			if got < v-slack || got > v+slack {
+				t.Fatalf("v=%d: p50=%d outside ±%d", v, got, slack)
+			}
+		}
+	}
+}
+
+// TestHistogramNegativeAndZero checks that zero records land in the first
+// bucket and negative samples clamp to zero instead of corrupting a bucket
+// index.
+func TestHistogramNegativeAndZero(t *testing.T) {
+	h := NewHistogram()
+	h.Record(0)
+	h.Record(-5)
+	h.Record(sim.Duration(-1 << 40))
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("min=%d max=%d, want 0/0 (negatives clamp)", h.Min(), h.Max())
+	}
+	if p := h.Percentile(99); p != 0 {
+		t.Fatalf("p99 = %d, want 0", p)
+	}
+}
+
+// TestHistogramMergeMatchesCombined merges two histograms and checks the
+// result is indistinguishable from recording every sample into one.
+func TestHistogramMergeMatchesCombined(t *testing.T) {
+	a, b, both := NewHistogram(), NewHistogram(), NewHistogram()
+	rng := sim.NewRNG(7)
+	for i := 0; i < 500; i++ {
+		v := sim.Duration(rng.Intn(1 << 22))
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		both.Record(v)
+	}
+	a.Merge(b)
+	if a.Count() != both.Count() || a.Sum() != both.Sum() {
+		t.Fatalf("merged count/sum = %d/%d, want %d/%d", a.Count(), a.Sum(), both.Count(), both.Sum())
+	}
+	if a.Min() != both.Min() || a.Max() != both.Max() {
+		t.Fatalf("merged min/max = %d/%d, want %d/%d", a.Min(), a.Max(), both.Min(), both.Max())
+	}
+	for _, p := range []float64{1, 25, 50, 90, 99, 99.9, 100} {
+		if a.Percentile(p) != both.Percentile(p) {
+			t.Fatalf("p%.1f: merged %d, combined %d", p, a.Percentile(p), both.Percentile(p))
+		}
+	}
+}
+
+// TestHistogramQuantileMonotonic checks that Percentile is non-decreasing in
+// p over an adversarial mix of tiny, boundary, and huge values.
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	h := NewHistogram()
+	rng := sim.NewRNG(11)
+	for i := 0; i < 2000; i++ {
+		switch i % 4 {
+		case 0:
+			h.Record(sim.Duration(rng.Intn(32))) // first linear bucket
+		case 1:
+			h.Record(sim.Duration(1 << uint(5+rng.Intn(30)))) // power-of-two boundaries
+		case 2:
+			h.Record(sim.Duration(rng.Intn(1 << 44))) // wide range
+		default:
+			h.Record(0)
+		}
+	}
+	prev := sim.Duration(-1)
+	for p := 0.5; p <= 100; p += 0.5 {
+		q := h.Percentile(p)
+		if q < prev {
+			t.Fatalf("p%.1f = %d < previous %d: quantiles not monotone", p, q, prev)
+		}
+		prev = q
+	}
+	if h.Percentile(100) != h.Max() {
+		t.Fatalf("p100 = %d, want max %d", h.Percentile(100), h.Max())
+	}
+}
+
+// TestHistogramSumExact checks the Sum accessor bypasses bucketing: the sum
+// is exact even when percentile estimates are not.
+func TestHistogramSumExact(t *testing.T) {
+	h := NewHistogram()
+	var want int64
+	for i := int64(1); i <= 1000; i++ {
+		v := i*i*7 + 3
+		h.Record(sim.Duration(v))
+		want += v
+	}
+	if h.Sum() != want {
+		t.Fatalf("Sum = %d, want exact %d", h.Sum(), want)
+	}
+	h.Reset()
+	if h.Sum() != 0 || h.Count() != 0 {
+		t.Fatalf("after Reset: sum=%d count=%d", h.Sum(), h.Count())
+	}
+}

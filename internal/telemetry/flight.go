@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"flatflash/internal/sim"
+)
+
+// IsFault reports whether k is a fault-engine event kind. The flight
+// recorder treats every fault event as an anomaly trigger.
+func (k SpanKind) IsFault() bool {
+	return k >= EvFaultCrash && k <= EvFaultBattery
+}
+
+// Default flight-recorder sizing: the ring keeps the most recent spans
+// leading up to an anomaly, and the snapshot cap bounds memory when a run
+// anomalies repeatedly (the trigger count keeps counting past it).
+const (
+	DefaultFlightCapacity  = 4096
+	DefaultFlightSnapshots = 8
+)
+
+// FlightSnapshot is one captured anomaly: the trigger's reason, virtual
+// time, kind-specific argument, and a copy of the span ring at that instant
+// (the pre-anomaly window, oldest first).
+type FlightSnapshot struct {
+	Reason string
+	At     sim.Time
+	Arg    int64
+	Spans  []Span
+}
+
+// FlightRecorder is a Probe that keeps a bounded ring of the most recent
+// spans and, on an anomaly trigger, snapshots the ring so the pre-anomaly
+// window can be dumped for postmortem analysis. Triggers come from three
+// sources: fault-engine events (self-triggered in Event), epoch-boundary
+// p99-over-SLO checks (Attribution), and invariant-check failures after
+// recovery (core). All timestamps are virtual, so same-seed runs dump
+// byte-identical files.
+//
+// An optional chained Probe receives every span and event too, so a flight
+// recorder can front a Tracer or metrics pipeline without stealing its feed.
+// Trigger and WriteDump are nil-receiver safe; like Tracer, a nil
+// *FlightRecorder must not be stored into a Probe interface.
+type FlightRecorder struct {
+	ring  *Tracer
+	inner Probe
+
+	snaps    []FlightSnapshot
+	maxSnaps int
+	triggers int64
+}
+
+// NewFlightRecorder returns a recorder keeping the last capacity spans
+// (DefaultFlightCapacity if <= 0) and at most maxSnapshots anomaly captures
+// (DefaultFlightSnapshots if <= 0).
+func NewFlightRecorder(capacity, maxSnapshots int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	if maxSnapshots <= 0 {
+		maxSnapshots = DefaultFlightSnapshots
+	}
+	return &FlightRecorder{ring: NewTracer(capacity), maxSnaps: maxSnapshots}
+}
+
+// Chain forwards every span and event to inner after recording. No-op on a
+// nil recorder.
+func (r *FlightRecorder) Chain(inner Probe) {
+	if r == nil {
+		return
+	}
+	r.inner = inner
+}
+
+// Span implements Probe.
+func (r *FlightRecorder) Span(kind SpanKind, track Track, start, end sim.Time, arg int64) {
+	r.ring.Span(kind, track, start, end, arg)
+	if r.inner != nil {
+		r.inner.Span(kind, track, start, end, arg)
+	}
+}
+
+// Event implements Probe. Fault-engine events self-trigger a snapshot after
+// being recorded, so the dump window includes the fault itself.
+func (r *FlightRecorder) Event(kind SpanKind, track Track, at sim.Time, arg int64) {
+	r.ring.Event(kind, track, at, arg)
+	if r.inner != nil {
+		r.inner.Event(kind, track, at, arg)
+	}
+	if kind.IsFault() {
+		r.Trigger(kind.String(), at, arg)
+	}
+}
+
+// Trigger records an anomaly: the trigger count always increments, and up to
+// the snapshot cap the current ring contents are copied as the pre-anomaly
+// window. Nil-safe no-op, so un-instrumented paths can trigger
+// unconditionally on a concrete *FlightRecorder.
+func (r *FlightRecorder) Trigger(reason string, at sim.Time, arg int64) {
+	if r == nil {
+		return
+	}
+	r.triggers++
+	if len(r.snaps) >= r.maxSnaps {
+		return
+	}
+	r.snaps = append(r.snaps, FlightSnapshot{
+		Reason: reason,
+		At:     at,
+		Arg:    arg,
+		Spans:  r.ring.Spans(),
+	})
+}
+
+// Triggers returns how many anomalies fired (including ones past the
+// snapshot cap).
+func (r *FlightRecorder) Triggers() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.triggers
+}
+
+// Snapshots returns the captured anomalies in trigger order.
+func (r *FlightRecorder) Snapshots() []FlightSnapshot {
+	if r == nil {
+		return nil
+	}
+	return r.snaps
+}
+
+// WriteDump writes the captured anomalies as JSON Lines: one header object
+// per anomaly ({"anomaly":...,"t_ns":...,"arg":...,"spans":N}) followed by
+// one object per span in the pre-anomaly window, and a final summary object
+// with the total trigger and snapshot counts. All values derive from virtual
+// time and the seeded simulation, so same-seed runs produce byte-identical
+// dumps. Nil-safe no-op.
+func (r *FlightRecorder) WriteDump(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, snap := range r.snaps {
+		fmt.Fprintf(bw, `{"anomaly":"%s","t_ns":%d,"arg":%d,"spans":%d}`+"\n",
+			snap.Reason, int64(snap.At), snap.Arg, len(snap.Spans))
+		for _, s := range snap.Spans {
+			instant := 0
+			if s.Instant {
+				instant = 1
+			}
+			fmt.Fprintf(bw, `{"seq":%d,"kind":"%s","track":"%s","start_ns":%d,"dur_ns":%d,"instant":%d,"arg":%d}`+"\n",
+				s.Seq, s.Kind.String(), s.Track.String(), int64(s.Start), int64(s.Dur), instant, s.Arg)
+		}
+	}
+	fmt.Fprintf(bw, `{"triggers":%d,"snapshots":%d,"recorded":%d,"dropped":%d}`+"\n",
+		r.triggers, len(r.snaps), r.ring.Recorded(), r.ring.Dropped())
+	return bw.Flush()
+}
+
+var _ Probe = (*FlightRecorder)(nil)

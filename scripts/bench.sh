@@ -7,6 +7,9 @@
 # The output name comes from the single argument; `make bench` passes the
 # current snapshot name (BENCH_4.json), which is also the default here so a
 # bare ./scripts/bench.sh writes the same file the Makefile would.
+#
+# BENCHTIME overrides the per-benchmark budget (default 1s). CI's warn-only
+# regression diff sets a small iteration count to keep the gate fast.
 set -eu
 
 if [ $# -gt 1 ]; then
@@ -17,7 +20,7 @@ out=${1:-BENCH_4.json}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-go test -bench=. -benchmem -run='^$' ./... | tee "$raw"
+go test -bench=. -benchmem -benchtime="${BENCHTIME:-1s}" -run='^$' ./... | tee "$raw"
 
 awk -v out="$out" '
 $1 ~ /^Benchmark/ && $3 == "ns/op" || ($4 == "ns/op") {

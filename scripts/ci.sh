@@ -49,6 +49,49 @@ for pkg in $(go list ./...); do
     done
 done
 
+echo "== bench regression (warn-only) =="
+# Diff a one-shot bench run against the latest BENCH_*.json snapshot. This is
+# advisory: CI machines are too noisy for a hard ns/op gate, but the printed
+# deltas make a regression visible in the log. Alloc regressions are still
+# hard-gated by the AllocsPerRun tests above.
+latest_bench=$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)
+if [ -n "$latest_bench" ] && [ -x scripts/bench.sh ]; then
+    if BENCHTIME=3x ./scripts/bench.sh /tmp/BENCH_ci.json >/dev/null 2>&1; then
+        ./scripts/benchdiff.sh "$latest_bench" /tmp/BENCH_ci.json || \
+            echo "benchdiff: comparison failed (warn only)"
+    else
+        echo "benchdiff: bench run failed (warn only)"
+    fi
+else
+    echo "benchdiff: no BENCH_*.json snapshot to compare against (warn only)"
+fi
+
+echo "== observability smoke =="
+# Two same-seed runs with the latency-attribution and flight-recorder dumps
+# enabled must produce byte-identical, line-parseable JSONL files, and the
+# budget table must reach stdout. Guards the ISSUE 6 determinism contract
+# end to end through the real CLI.
+go build -o /tmp/flatflash-sim ./cmd/flatflash-sim
+obs_run() {
+    /tmp/flatflash-sim -kind flatflash -pattern zipf -ops 4000 -seed 7 \
+        -slo 4us -latency-out "$1" -flight-out "$2"
+}
+obs_run /tmp/obs_lat1.jsonl /tmp/obs_flight1.jsonl > /tmp/obs_out1.txt
+obs_run /tmp/obs_lat2.jsonl /tmp/obs_flight2.jsonl > /tmp/obs_out2.txt
+cmp /tmp/obs_lat1.jsonl /tmp/obs_lat2.jsonl || {
+    echo "latency dumps differ across same-seed runs"; exit 1; }
+cmp /tmp/obs_flight1.jsonl /tmp/obs_flight2.jsonl || {
+    echo "flight dumps differ across same-seed runs"; exit 1; }
+grep -q "latency budget" /tmp/obs_out1.txt || {
+    echo "budget table missing from sim output"; exit 1; }
+for dump in /tmp/obs_lat1.jsonl /tmp/obs_flight1.jsonl; do
+    [ -s "$dump" ] || { echo "$dump is empty"; exit 1; }
+    python3 -c 'import json,sys
+for line in open(sys.argv[1]):
+    json.loads(line)' "$dump" || { echo "$dump has invalid JSONL"; exit 1; }
+done
+echo "observability smoke ok"
+
 echo "== coverage floors =="
 # Safety-critical packages keep a per-package statement-coverage floor: the
 # fault engine guards crash consistency, and the analyzer suite guards every
@@ -69,5 +112,9 @@ cover_floor() {
 }
 cover_floor ./internal/fault 80
 cover_floor ./internal/analyzers 80
+# The observability layer (attribution engine, flight recorder, shared CLI
+# flags) is how regressions elsewhere get diagnosed, so it keeps a floor too.
+cover_floor ./internal/telemetry 80
+cover_floor ./internal/obsflags 80
 
 echo "ci: all green"
