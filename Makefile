@@ -35,6 +35,7 @@ bench:
 fuzz:
 	go test -fuzz=FuzzParse -fuzztime=10s -run=^$$ ./internal/trace
 	go test -fuzz=FuzzFaultPlan -fuzztime=10s -run=^$$ ./internal/fault
+	go test -fuzz=FuzzArrivalGen -fuzztime=10s -run=^$$ ./internal/workload
 
 crashsweep:
 	go run ./cmd/flatflash-bench crashsweep -points 60

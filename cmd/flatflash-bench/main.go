@@ -25,13 +25,16 @@ import (
 	"strings"
 	"time"
 
+	"flatflash/internal/core"
 	"flatflash/internal/crashsweep"
 	"flatflash/internal/experiments"
 	"flatflash/internal/fault"
+	"flatflash/internal/fleet"
 	"flatflash/internal/mtsim"
 	"flatflash/internal/obsflags"
 	"flatflash/internal/sim"
 	"flatflash/internal/telemetry"
+	"flatflash/internal/workload"
 )
 
 // subcommands maps each subcommand to its one-line summary, shown by -list,
@@ -39,6 +42,7 @@ import (
 var subcommands = []struct{ name, summary string }{
 	{"crashsweep", "seeded crash-consistency sweep; exits non-zero on recovery violations"},
 	{"consolidate", "multi-tenant consolidation sweep: per-tenant slowdown, fairness, DRAM budgets"},
+	{"fleet", "sharded multi-device sweep under open-loop load: shed rate, p99, fairness"},
 }
 
 func usage() {
@@ -60,6 +64,9 @@ func main() {
 			return
 		case "consolidate":
 			runConsolidate(os.Args[2:])
+			return
+		case "fleet":
+			runFleet(os.Args[2:])
 			return
 		}
 	}
@@ -247,12 +254,124 @@ func runConsolidate(args []string) {
 	check(obs.WriteFlight(flightRec, os.Stdout))
 }
 
+// runFleet executes the sharded fleet sweep: for each (shard count, offered
+// rate, seed) grid point, M devices behind a consistent-hash ring absorb
+// open-loop Poisson traffic with SLO-aware admission control. The report is
+// byte-identical for a fixed grid and seed set, whatever -workers is.
+func runFleet(args []string) {
+	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
+	var (
+		// Per-shard device geometry; the defaults match flatflash-sim's, so a
+		// 1-shard fleet and a flatflash-sim -openloop run with the same seed
+		// and region print byte-identical device lines.
+		ssd      = fs.Uint64("ssd", 256<<20, "per-shard SSD capacity in bytes")
+		dram     = fs.Uint64("dram", 4<<20, "per-shard host DRAM in bytes")
+		shards   = fs.String("shards", "1,2,4", "comma-separated shard (device) counts")
+		rates    = fs.String("rates", "50000,500000,2000000", "comma-separated offered arrival rates (ops/s)")
+		seeds    = fs.String("seeds", "1", "comma-separated arrival seeds (same grid+seeds => byte-identical report)")
+		mix      = fs.String("mix", "zipf", "mix spec; '+' interleaves mixes across clients")
+		clients  = fs.Uint64("clients", 1<<20, "simulated client population")
+		amp      = fs.Float64("amp", 0.4, "diurnal modulation amplitude in [0,1)")
+		period   = fs.Duration("period", 10*time.Millisecond, "diurnal period in virtual time")
+		ops      = fs.Int("ops", 5000, "total arrivals per grid point")
+		region   = fs.Uint64("region", 1<<20, "global address-space bytes sharded across the fleet")
+		qdepth   = fs.Int("qdepth", 0, "per-shard queue depth bound (0 = default)")
+		batch    = fs.Int("batch", 0, "MMIO doorbell batch size (0 = default)")
+		issue    = fs.Duration("issue-overhead", 300*time.Nanosecond, "per-batch doorbell cost")
+		vnodes   = fs.Int("vnodes", 0, "ring vnodes per shard (0 = default)")
+		ringSeed = fs.Uint64("ring-seed", 0, "consistent-hash ring placement seed")
+		mEpoch   = fs.Duration("migrate-epoch", 0, "cross-shard migration epoch (0 disables migration)")
+		mPages   = fs.Int("migrate-pages", 0, "max pages migrated per shard per epoch (0 = default)")
+		mLat     = fs.Duration("migrate-lat", 0, "per-page migration copy cost (0 = default)")
+		workers  = fs.Int("workers", 4, "parallel workers across grid points")
+		obs      = obsflags.Register(fs)
+	)
+	subUsage(fs, "fleet")
+	check(fs.Parse(args))
+	if fs.NArg() > 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	dev := core.DefaultConfig(*ssd, *dram)
+	cfg := fleet.SweepConfig{
+		Device:      &dev,
+		ShardCounts: parseInts(fs, *shards),
+		Rates:       parseFloats(fs, *rates),
+		Seeds:       parseUints(fs, *seeds),
+		Arrivals: workload.ArrivalConfig{
+			MixSpec:       *mix,
+			DiurnalAmp:    *amp,
+			DiurnalPeriod: sim.Duration(period.Nanoseconds()),
+			Clients:       *clients,
+			RegionBytes:   *region,
+			Ops:           *ops,
+		},
+		Server: mtsim.ServerOptions{
+			QueueDepth:    *qdepth,
+			Batch:         *batch,
+			IssueOverhead: sim.Duration(issue.Nanoseconds()),
+			SLO:           obs.SLODur(),
+			ShedWait:      obs.ShedWaitDur(),
+		},
+		VNodes:       *vnodes,
+		RingSeed:     *ringSeed,
+		MigrateEpoch: sim.Duration(mEpoch.Nanoseconds()),
+		MigratePages: *mPages,
+		MigrateLat:   sim.Duration(mLat.Nanoseconds()),
+		Workers:      *workers,
+	}
+	var flightRec *telemetry.FlightRecorder
+	if obs.FlightEnabled() {
+		flightRec = telemetry.NewFlightRecorder(telemetry.DefaultFlightCapacity, telemetry.DefaultFlightSnapshots)
+		cfg.Server.Flight = flightRec
+	}
+	if obs.AttribEnabled() {
+		cfg.Server.Attrib = true
+	}
+	res, err := fleet.Sweep(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flatflash-bench:", err)
+		fs.Usage()
+		os.Exit(2)
+	}
+	check(res.Write(os.Stdout))
+	if *obs.LatencyOut != "" {
+		// Every shard of every point carries a private attribution engine;
+		// the dump concatenates their JSONL records in grid+shard order.
+		f, err := os.Create(*obs.LatencyOut)
+		check(err)
+		for i := range res.Points {
+			for _, s := range res.Points[i].Res.Shards {
+				if a := s.Attribution(); a != nil {
+					check(a.WriteJSONL(f))
+				}
+			}
+		}
+		check(f.Close())
+	}
+	check(obs.WriteFlight(flightRec, os.Stdout))
+}
+
 func parseInts(fs *flag.FlagSet, csv string) []int {
 	var out []int
 	for _, s := range strings.Split(csv, ",") {
 		var v int
 		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &v); err != nil {
 			fmt.Fprintf(os.Stderr, "flatflash-bench: bad integer %q\n", s)
+			fs.Usage()
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseFloats(fs *flag.FlagSet, csv string) []float64 {
+	var out []float64
+	for _, s := range strings.Split(csv, ",") {
+		var v float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%g", &v); err != nil {
+			fmt.Fprintf(os.Stderr, "flatflash-bench: bad rate %q\n", s)
 			fs.Usage()
 			os.Exit(2)
 		}

@@ -7,6 +7,13 @@
 //	flatflash-sim -kind unifiedmmap -replay hot.trace
 //	flatflash-sim -pattern rand -record rand.trace -ops 10000
 //	flatflash-sim -kind flatflash -fault-plan faults.plan -ops 20000
+//
+// With -openloop it instead offers seeded Poisson arrivals (with an optional
+// diurnal curve) to one FlatFlash device behind a bounded queue with batched
+// issue and SLO-aware admission control, and reports the shed rate alongside
+// admitted-request latency:
+//
+//	flatflash-sim -openloop -mix zipf -rate 200000 -ops 20000 -slo 400us
 package main
 
 import (
@@ -19,10 +26,12 @@ import (
 
 	"flatflash/internal/core"
 	"flatflash/internal/fault"
+	"flatflash/internal/mtsim"
 	"flatflash/internal/obsflags"
 	"flatflash/internal/sim"
 	"flatflash/internal/telemetry"
 	"flatflash/internal/trace"
+	"flatflash/internal/workload"
 )
 
 func main() {
@@ -40,6 +49,16 @@ func main() {
 		replay    = flag.String("replay", "", "replay a trace file instead of generating")
 		faultPlan = flag.String("fault-plan", "", "inject faults from this plan file (flatflash only); the replay recovers and rides through crashes")
 
+		openloop = flag.Bool("openloop", false, "open-loop mode: Poisson arrivals with admission control instead of trace replay")
+		mix      = flag.String("mix", "zipf", "open-loop mix spec; '+' interleaves mixes across clients")
+		rate     = flag.Float64("rate", 100000, "open-loop offered arrival rate (ops/s)")
+		clients  = flag.Uint64("clients", 1<<20, "open-loop simulated client population")
+		amp      = flag.Float64("amp", 0, "open-loop diurnal modulation amplitude in [0,1)")
+		period   = flag.Duration("period", 10*time.Millisecond, "open-loop diurnal period in virtual time")
+		qdepth   = flag.Int("qdepth", 0, "open-loop queue depth bound (0 = default)")
+		batch    = flag.Int("batch", 0, "open-loop MMIO doorbell batch size (0 = default)")
+		issue    = flag.Duration("issue-overhead", 300*time.Nanosecond, "open-loop per-batch doorbell cost")
+
 		traceOut   = flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON file")
 		metricsOut = flag.String("metrics-out", "", "write epoch-sampled metrics as JSON Lines")
 		metricsEp  = flag.Duration("metrics-epoch", time.Millisecond, "virtual-time metrics sampling epoch")
@@ -53,6 +72,42 @@ func main() {
 	check(err)
 	wssB, err := parseSize(*wss)
 	check(err)
+
+	if *openloop {
+		dev := core.DefaultConfig(ssdB, dramB)
+		cfg := mtsim.OpenLoopConfig{
+			Device: &dev,
+			Arrivals: workload.ArrivalConfig{
+				MixSpec:       *mix,
+				Rate:          *rate,
+				DiurnalAmp:    *amp,
+				DiurnalPeriod: sim.Duration(period.Nanoseconds()),
+				Clients:       *clients,
+				RegionBytes:   wssB,
+				Ops:           *ops,
+				Seed:          *seed,
+			},
+			Server: mtsim.ServerOptions{
+				QueueDepth:    *qdepth,
+				Batch:         *batch,
+				IssueOverhead: sim.Duration(issue.Nanoseconds()),
+				SLO:           obs.SLODur(),
+				ShedWait:      obs.ShedWaitDur(),
+				Attrib:        obs.AttribEnabled(),
+			},
+		}
+		var flightRec *telemetry.FlightRecorder
+		if obs.FlightEnabled() {
+			flightRec = telemetry.NewFlightRecorder(telemetry.DefaultFlightCapacity, telemetry.DefaultFlightSnapshots)
+			cfg.Server.Flight = flightRec
+		}
+		res, err := mtsim.OpenLoop(cfg)
+		check(err)
+		check(res.Write(os.Stdout))
+		check(obs.WriteLatency(res.Server.Attribution(), os.Stdout))
+		check(obs.WriteFlight(flightRec, os.Stdout))
+		return
+	}
 
 	cfg := core.DefaultConfig(ssdB, dramB)
 	var h core.Hierarchy

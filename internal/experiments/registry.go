@@ -29,6 +29,7 @@ var registry = []struct {
 	{"ablations", "Design ablations: promotion, PLB, RRIP, wear-aware GC", Ablations},
 	{"capi", "Extension: coherent host caching of MMIO (§3.1)", CAPI},
 	{"consolidate", "Extension: server consolidation, multi-tenant slowdown & fairness", one(Consolidate)},
+	{"fleet", "Extension: sharded fleet scale-out under open-loop load", one(FleetSweep)},
 	{"table1", "Table 1: summary of improvements", one(Table1)},
 	{"table3", "Table 3: cost-effectiveness vs DRAM-only", one(Table3)},
 }

@@ -1,0 +1,166 @@
+package fleet
+
+import (
+	"testing"
+)
+
+// Satellite property test 1: with enough vnodes, consistent hashing keeps
+// every shard's share of a sampled keyspace within ±15% of the ideal 1/M,
+// across several seeds and shard counts.
+func TestRingBalance(t *testing.T) {
+	// 1024 vnodes per shard keeps the worst observed deviation under ~9%
+	// across this grid; 256 vnodes would wander past 15%.
+	const (
+		vnodes = 1024
+		keys   = 100_000
+	)
+	for _, seed := range []uint64{1, 42, 0xfeedface} {
+		for _, shards := range []int{2, 3, 4, 8, 16} {
+			r, err := NewRing(shards, vnodes, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts := make([]int, shards)
+			for k := uint64(0); k < keys; k++ {
+				counts[r.Lookup(k)]++
+			}
+			ideal := float64(keys) / float64(shards)
+			for s, n := range counts {
+				dev := (float64(n) - ideal) / ideal
+				if dev < -0.15 || dev > 0.15 {
+					t.Errorf("seed=%d shards=%d: shard %d owns %d keys, %.1f%% off the ideal %.0f",
+						seed, shards, s, n, dev*100, ideal)
+				}
+			}
+		}
+	}
+}
+
+// Satellite property test 1b: growing a ring from M to M+1 shards remaps at
+// most about 1/(M+1) of a sampled keyspace, and every remapped key lands on
+// the new shard — the consistent-hashing minimal-remap property.
+func TestRingMinimalRemapOnAdd(t *testing.T) {
+	const (
+		vnodes = 256
+		keys   = 100_000
+	)
+	for _, seed := range []uint64{1, 42} {
+		for _, shards := range []int{2, 4, 8} {
+			small, err := NewRing(shards, vnodes, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			big, err := NewRing(shards+1, vnodes, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			moved := 0
+			for k := uint64(0); k < keys; k++ {
+				before, after := small.Lookup(k), big.Lookup(k)
+				if before == after {
+					continue
+				}
+				moved++
+				if after != shards {
+					t.Fatalf("seed=%d shards=%d: key %d moved %d->%d, not to the new shard %d",
+						seed, shards, k, before, after, shards)
+				}
+			}
+			// The new shard should take ~1/(M+1) of the keys; allow 60% slack
+			// for hashing variance at this sample size.
+			limit := int(1.6 * float64(keys) / float64(shards+1))
+			if moved > limit {
+				t.Errorf("seed=%d shards=%d: adding one shard remapped %d/%d keys, limit %d",
+					seed, shards, moved, keys, limit)
+			}
+			if moved == 0 {
+				t.Errorf("seed=%d shards=%d: adding a shard moved nothing", seed, shards)
+			}
+		}
+	}
+}
+
+// Removing the last shard only remaps the keys it owned (about 1/M), and
+// every surviving shard keeps exactly the keys it had.
+func TestRingMinimalRemapOnRemove(t *testing.T) {
+	const (
+		vnodes = 256
+		keys   = 100_000
+		seed   = uint64(9)
+	)
+	for _, shards := range []int{3, 5, 8} {
+		big, err := NewRing(shards, vnodes, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		small, err := NewRing(shards-1, vnodes, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for k := uint64(0); k < keys; k++ {
+			before, after := big.Lookup(k), small.Lookup(k)
+			if before == shards-1 {
+				moved++
+				continue // the removed shard's keys must scatter somewhere else
+			}
+			if before != after {
+				t.Fatalf("shards=%d: key %d on surviving shard %d remapped to %d",
+					shards, k, before, after)
+			}
+		}
+		limit := int(1.6 * float64(keys) / float64(shards))
+		if moved == 0 || moved > limit {
+			t.Errorf("shards=%d: removing one shard touched %d/%d keys, want (0, %d]",
+				shards, moved, keys, limit)
+		}
+	}
+}
+
+func TestRingValidates(t *testing.T) {
+	if _, err := NewRing(0, 8, 1); err == nil {
+		t.Error("zero shards accepted")
+	}
+	if _, err := NewRing(2, 0, 1); err == nil {
+		t.Error("zero vnodes accepted")
+	}
+	if _, err := PinnedRing(2, 2); err == nil {
+		t.Error("pinned owner outside ring accepted")
+	}
+	if _, err := PinnedRing(0, 0); err == nil {
+		t.Error("pinned ring with zero shards accepted")
+	}
+}
+
+func TestPinnedRingRoutesEverythingToOwner(t *testing.T) {
+	r, err := PinnedRing(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", r.Shards())
+	}
+	for k := uint64(0); k < 10_000; k++ {
+		if got := r.Lookup(k); got != 2 {
+			t.Fatalf("key %d routed to %d, want pinned owner 2", k, got)
+		}
+	}
+}
+
+// Lookup is a pure function of (ring config, key): two rings built from the
+// same parameters agree everywhere.
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRing(5, 64, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(5, 64, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 50_000; k++ {
+		if a.Lookup(k) != b.Lookup(k) {
+			t.Fatalf("same ring config disagrees on key %d", k)
+		}
+	}
+}

@@ -21,6 +21,7 @@ const (
 	LatencyOutHelp = "write the per-component latency attribution dump as JSON Lines to this file"
 	FlightOutHelp  = "write the anomaly flight-recorder dump as JSON Lines to this file"
 	SLOHelp        = "per-op latency SLO; enables violation/burn counters and p99-over-SLO anomaly triggers (0 disables)"
+	ShedWaitHelp   = "open-loop admission control: shed an arrival whose estimated queue wait exceeds this (0 defaults to half the SLO)"
 )
 
 // Flags holds the parsed observability flag values.
@@ -28,6 +29,7 @@ type Flags struct {
 	LatencyOut *string
 	FlightOut  *string
 	SLO        *time.Duration
+	ShedWait   *time.Duration
 }
 
 // Register installs the shared observability flags on fs.
@@ -36,6 +38,7 @@ func Register(fs *flag.FlagSet) *Flags {
 		LatencyOut: fs.String("latency-out", "", LatencyOutHelp),
 		FlightOut:  fs.String("flight-out", "", FlightOutHelp),
 		SLO:        fs.Duration("slo", 0, SLOHelp),
+		ShedWait:   fs.Duration("shed-wait", 0, ShedWaitHelp),
 	}
 }
 
@@ -48,6 +51,9 @@ func (f *Flags) FlightEnabled() bool { return *f.FlightOut != "" }
 
 // SLODur returns the -slo value as a virtual-time duration.
 func (f *Flags) SLODur() sim.Duration { return sim.Duration(f.SLO.Nanoseconds()) }
+
+// ShedWaitDur returns the -shed-wait value as a virtual-time duration.
+func (f *Flags) ShedWaitDur() sim.Duration { return sim.Duration(f.ShedWait.Nanoseconds()) }
 
 // Build constructs the sinks the parsed flags ask for: an attribution engine
 // when AttribEnabled, a flight recorder when FlightEnabled. Either may come

@@ -68,6 +68,22 @@ func TestSLOImpliesAttrib(t *testing.T) {
 	}
 }
 
+// TestShedWait checks the -shed-wait flag converts to virtual time and
+// defaults to zero (letting the open-loop server derive it from the SLO).
+func TestShedWait(t *testing.T) {
+	f := parse(t)
+	if f.ShedWaitDur() != 0 {
+		t.Fatalf("default ShedWaitDur = %d, want 0", f.ShedWaitDur())
+	}
+	f = parse(t, "-shed-wait", "40us")
+	if f.ShedWaitDur() != sim.Duration(40*time.Microsecond) {
+		t.Fatalf("ShedWaitDur = %d, want 40000", f.ShedWaitDur())
+	}
+	if f.AttribEnabled() || f.FlightEnabled() {
+		t.Fatal("-shed-wait enabled unrelated sinks")
+	}
+}
+
 // TestWriteLatencyAndFlight drives the file writers end to end and checks
 // the progress lines name the files and the dumps land on disk.
 func TestWriteLatencyAndFlight(t *testing.T) {

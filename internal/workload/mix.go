@@ -180,13 +180,15 @@ type txlogStream struct {
 func (s *txlogStream) Next() AccessOp {
 	if s.commit {
 		s.commit = false
-		slot := uint64(0)
+		// A one-slot region has no log half (logSlots == 0); the commit
+		// record then lands on slot 0 so the op stays inside the region.
+		off := uint64(0)
 		if s.logSlots > 0 {
-			slot = s.logNext % s.logSlots
+			off = (s.dataHalf + s.logNext%s.logSlots) * RecordBytes
 			s.logNext++
 		}
 		return AccessOp{
-			Off:     (s.dataHalf + slot) * RecordBytes,
+			Off:     off,
 			Len:     RecordBytes,
 			Write:   true,
 			Barrier: true,

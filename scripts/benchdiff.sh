@@ -17,6 +17,16 @@ new=$2
 [ -f "$old" ] || { echo "benchdiff: no such file: $old" >&2; exit 2; }
 [ -f "$new" ] || { echo "benchdiff: no such file: $new" >&2; exit 2; }
 
+# A snapshot with no benchmark entries (an aborted bench run, or a stray
+# empty "{}" file) would diff as everything-added/everything-removed, which
+# reads like a regression. Skip the comparison instead.
+for f in "$old" "$new"; do
+    if ! grep -q '"Benchmark' "$f"; then
+        echo "benchdiff: $f contains no benchmarks, skipping comparison"
+        exit 0
+    fi
+done
+
 awk -v oldfile="$old" -v newfile="$new" '
 # Each data line of a snapshot looks like:
 #   "BenchmarkName": {"ns_per_op": 123.4, "allocs_per_op": 5},

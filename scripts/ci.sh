@@ -55,6 +55,11 @@ echo "== bench regression (warn-only) =="
 # deltas make a regression visible in the log. Alloc regressions are still
 # hard-gated by the AllocsPerRun tests above.
 latest_bench=$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)
+if [ -n "$latest_bench" ] && ! grep -q '"Benchmark' "$latest_bench"; then
+    # An empty or truncated snapshot would diff as everything-removed noise.
+    echo "benchdiff: $latest_bench has no benchmarks, skipping (warn only)"
+    latest_bench=""
+fi
 if [ -n "$latest_bench" ] && [ -x scripts/bench.sh ]; then
     if BENCHTIME=3x ./scripts/bench.sh /tmp/BENCH_ci.json >/dev/null 2>&1; then
         ./scripts/benchdiff.sh "$latest_bench" /tmp/BENCH_ci.json || \
@@ -92,6 +97,25 @@ for line in open(sys.argv[1]):
 done
 echo "observability smoke ok"
 
+echo "== fleet smoke =="
+# A tiny fleet sweep must be byte-identical across runs AND across worker
+# counts — the ISSUE 7 determinism contract, end to end through the real CLI.
+go build -o /tmp/flatflash-bench ./cmd/flatflash-bench
+fleet_run() {
+    /tmp/flatflash-bench fleet -shards 1,2 -rates 50000,400000 -seeds 1 \
+        -ops 800 -region 262144 -slo 400us -workers "$1"
+}
+fleet_run 2 > /tmp/fleet_run1.txt
+fleet_run 2 > /tmp/fleet_run2.txt
+fleet_run 1 > /tmp/fleet_seq.txt
+cmp /tmp/fleet_run1.txt /tmp/fleet_run2.txt || {
+    echo "fleet reports differ across same-seed runs"; exit 1; }
+cmp /tmp/fleet_run1.txt /tmp/fleet_seq.txt || {
+    echo "fleet reports differ across worker counts"; exit 1; }
+grep -q "fleet sweep points=4" /tmp/fleet_run1.txt || {
+    echo "fleet report missing sweep header"; exit 1; }
+echo "fleet smoke ok"
+
 echo "== coverage floors =="
 # Safety-critical packages keep a per-package statement-coverage floor: the
 # fault engine guards crash consistency, and the analyzer suite guards every
@@ -116,5 +140,10 @@ cover_floor ./internal/analyzers 80
 # flags) is how regressions elsewhere get diagnosed, so it keeps a floor too.
 cover_floor ./internal/telemetry 80
 cover_floor ./internal/obsflags 80
+# The fleet front end (sharding, admission control, migration) and the
+# open-loop arrival generator gate the scale-out results, so they keep
+# floors as well.
+cover_floor ./internal/fleet 80
+cover_floor ./internal/workload 80
 
 echo "ci: all green"
