@@ -123,6 +123,7 @@ func main() {
 	// gets per-point attribution engines rendered in its report.
 	att, flightRec := obs.Build()
 	experiments.SetAttribution(att, flightRec)
+	experiments.SetMapCache(*obs.MapCache)
 
 	scale := experiments.Full
 	if *quick {
@@ -215,7 +216,17 @@ func runConsolidate(args []string) {
 		fs.Usage()
 		os.Exit(2)
 	}
+	var dev *core.Config
+	if *obs.MapCache > 0 {
+		// Same geometry the sweep uses by default, with the demand-paged map
+		// switched on for every tenant's device.
+		d := mtsim.DefaultDeviceConfig()
+		d.MapCachePages = *obs.MapCache
+		d.MapPipeline = true
+		dev = &d
+	}
 	cfg := mtsim.SweepConfig{
+		Device:         dev,
 		TenantCounts:   parseInts(fs, *tenants),
 		MixSpecs:       strings.Split(*mixes, ","),
 		Seeds:          parseUints(fs, *seeds),
@@ -293,6 +304,8 @@ func runFleet(args []string) {
 		os.Exit(2)
 	}
 	dev := core.DefaultConfig(*ssd, *dram)
+	dev.MapCachePages = *obs.MapCache
+	dev.MapPipeline = *obs.MapCache > 0
 	cfg := fleet.SweepConfig{
 		Device:      &dev,
 		ShardCounts: parseInts(fs, *shards),
@@ -406,6 +419,7 @@ func runCrashsweep(args []string) {
 		planPath  = fs.String("fault-plan", "", "layer extra faults from this plan file onto every crash run")
 		breakRec  = fs.Bool("break-recovery", false, "sabotage recovery (test-only; the sweep must then report violations)")
 		flightOut = fs.String("flight-out", "", obsflags.FlightOutHelp)
+		mapCache  = fs.Int("map-cache", 0, obsflags.MapCacheHelp)
 	)
 	check(fs.Parse(args))
 	cfg := crashsweep.Config{
@@ -413,6 +427,7 @@ func runCrashsweep(args []string) {
 		Points:        *points,
 		Workloads:     strings.Split(*workloads, ","),
 		BreakRecovery: *breakRec,
+		MapCachePages: *mapCache,
 	}
 	if *flightOut != "" {
 		cfg.Flight = telemetry.NewFlightRecorder(telemetry.DefaultFlightCapacity, telemetry.DefaultFlightSnapshots)

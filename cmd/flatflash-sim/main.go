@@ -75,6 +75,8 @@ func main() {
 
 	if *openloop {
 		dev := core.DefaultConfig(ssdB, dramB)
+		dev.MapCachePages = *obs.MapCache
+		dev.MapPipeline = *obs.MapCache > 0
 		cfg := mtsim.OpenLoopConfig{
 			Device: &dev,
 			Arrivals: workload.ArrivalConfig{
@@ -110,6 +112,8 @@ func main() {
 	}
 
 	cfg := core.DefaultConfig(ssdB, dramB)
+	cfg.MapCachePages = *obs.MapCache
+	cfg.MapPipeline = *obs.MapCache > 0
 	var h core.Hierarchy
 	switch strings.ToLower(*kind) {
 	case "flatflash", "ff":

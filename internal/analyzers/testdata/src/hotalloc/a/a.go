@@ -56,3 +56,65 @@ func (r *ring) hotSuppressed() {
 	//lint:ignore hotalloc grows only before steady state, capacity retained after
 	r.buf = append(r.buf, 0)
 }
+
+// mapCache mirrors the demand-paged translation map's cached mapping table:
+// intrusive LRU over fixed slot arrays, with a pre-warmed slot map. The hit
+// path must stay allocation-free; snapshot helpers that build slices belong
+// off the annotation.
+type mapCache struct {
+	tvpn       []uint32
+	dirty      []bool
+	prev, next []int32
+	head, tail int32
+	slotOf     map[uint32]int32
+}
+
+// hotHit is the legal shape: warmed-map lookup, intrusive list relinking via
+// index arrays, flag writes — no allocating construct anywhere.
+//
+//flatflash:hotpath
+func (c *mapCache) hotHit(tvpn uint32) bool {
+	s, ok := c.slotOf[tvpn]
+	if !ok {
+		return false
+	}
+	if s != c.head {
+		p, n := c.prev[s], c.next[s]
+		if p >= 0 {
+			c.next[p] = n
+		} else {
+			c.head = n
+		}
+		if n >= 0 {
+			c.prev[n] = p
+		} else {
+			c.tail = p
+		}
+		c.prev[s] = -1
+		c.next[s] = c.head
+		c.head = s
+	}
+	c.dirty[s] = true
+	return true
+}
+
+// hotSnapshot is the trap the annotation exists to catch: building the LRU
+// order (or a dirty list) allocates per call and must live off the hot path.
+//
+//flatflash:hotpath
+func (c *mapCache) hotSnapshot() []uint32 {
+	out := make([]uint32, 0, 8) // want "make allocates in hot path"
+	for s := c.head; s >= 0; s = c.next[s] {
+		out = append(out, c.tvpn[s]) // want "append may grow and allocate"
+	}
+	return out
+}
+
+// coldSnapshot is the same body without the annotation: fine where it is.
+func (c *mapCache) coldSnapshot() []uint32 {
+	out := make([]uint32, 0, 8)
+	for s := c.head; s >= 0; s = c.next[s] {
+		out = append(out, c.tvpn[s])
+	}
+	return out
+}

@@ -81,3 +81,20 @@ func (d *dev) attribEarlyExit(lat int64) {
 	}
 	d.att.Charge(3, lat)
 }
+
+// ftlMap mirrors the demand-paged map's FTL side: every map hit charges the
+// map-fetch component, so the charge must sit behind a nil guard exactly like
+// the flash device's probes.
+type ftlMap struct {
+	att telemetry.Attrib
+}
+
+func (f *ftlMap) hitUnguarded(lat int64) {
+	f.att.Charge(4, lat) // want "telemetry.Attrib call without nil guard"
+}
+
+func (f *ftlMap) hitGuarded(lat int64) {
+	if f.att != nil {
+		f.att.Charge(4, lat)
+	}
+}

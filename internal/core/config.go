@@ -73,6 +73,17 @@ type Config struct {
 	PLB            plb.Config
 	UsePLB         bool // ablation: false stalls the CPU for the promotion
 
+	// MapCachePages > 0 switches the FTL to the demand-paged translation
+	// map (DFTL style): translation pages live in flash and only this many
+	// stay resident in the cached mapping table. 0 (the default) keeps the
+	// all-in-memory map, byte-identical to pre-mapcache behavior. Applies
+	// to every hierarchy built from this config, so fleet/mtsim sweeps
+	// pick the mode up transparently.
+	MapCachePages int
+	// MapPipeline overlaps a write's map access with its data program and
+	// takes evicted-page write-backs off the critical path (FMMU-style).
+	MapPipeline bool
+
 	// DisableFastPath turns off the bulk DRAM-span fast path (one copy and
 	// one clock advance for a fully DRAM-resident, promotion-quiescent span
 	// instead of per-cache-line bookkeeping). The fast path is exactly
@@ -150,6 +161,8 @@ func (c Config) Validate() error {
 	case c.MetaOverheadTraditional < 0 || c.MetaOverheadTraditional >= 1,
 		c.MetaOverheadUnified < 0 || c.MetaOverheadUnified >= 1:
 		return errors.New("core: metadata overheads must be in [0,1)")
+	case c.MapCachePages < 0:
+		return fmt.Errorf("core: MapCachePages %d", c.MapCachePages)
 	}
 	return nil
 }
@@ -202,7 +215,13 @@ func (c Config) buildFTL() (*ftl.FTL, error) {
 		ProgramLatency: c.FlashProgramLatency,
 		EraseLatency:   c.FlashEraseLatency,
 	}
-	return ftl.New(ftl.Config{Flash: fc, OverprovisionBlocks: op, GCFreeBlocksLow: 2})
+	return ftl.New(ftl.Config{
+		Flash:               fc,
+		OverprovisionBlocks: op,
+		GCFreeBlocksLow:     2,
+		MapCachePages:       c.MapCachePages,
+		MapPipeline:         c.MapPipeline,
+	})
 }
 
 // buildVM constructs the address space covering the SSD region.

@@ -905,6 +905,23 @@ func (s *FlatFlash) Counters() *stats.Counters {
 	out.Add("gc_relocations", rm.Relocations)
 	out.Add("gc_remap_interrupts", rm.BatchInterrupts)
 	out.Add("ftl_bad_blocks", rm.BadBlocks)
+	if s.ftl.MapEnabled() {
+		// Demand-paged translation map: counters exist only in that mode so
+		// default-config reports stay byte-identical.
+		ms := s.ftl.MapStats()
+		out.Add("map_cache_hits", ms.Hits)
+		out.Add("map_cache_misses", ms.Misses)
+		out.Add("map_fetches", ms.Fetches)
+		out.Add("map_cold_fills", ms.ColdFills)
+		out.Add("map_evictions", ms.Evictions)
+		out.Add("map_dirty_evictions", ms.DirtyEvs)
+		out.Add("flash_trans_programs", s.ftl.TransWrites())
+		_, transReads, _, _ := s.ftl.Device().WearByType()
+		out.Add("flash_trans_reads", transReads)
+		if rm.TransRelocations > 0 {
+			out.Add("gc_trans_relocations", rm.TransRelocations)
+		}
+	}
 	r, w, d, p := s.link.Stats()
 	out.Add("pcie_mmio_reads", r)
 	out.Add("pcie_mmio_writes", w)

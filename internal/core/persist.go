@@ -145,6 +145,11 @@ func (s *FlatFlash) Drain() {
 			}
 		}
 	}
+	// Demand-paged map: checkpoint so every mapping is on flash (no-op in
+	// the default all-in-memory mode).
+	if _, err := s.ftl.FlushMap(now); err != nil {
+		*s.hot.writebackFailures++
+	}
 }
 
 // Crash implements Hierarchy: power failure. Host DRAM and in-flight
@@ -196,6 +201,10 @@ func (s *FlatFlash) Crash() {
 		s.pol.Reset()
 	}
 	s.cach.ResetPageCnts()
+	// Demand-paged map: cached residency and the pending write-back queue
+	// live in controller DRAM and die here; the GTD and checkpoint sequence
+	// survive on flash.
+	s.ftl.CrashMap()
 	s.c.Add("crashes", 1)
 	s.crashed = true
 }
@@ -218,6 +227,20 @@ func (s *FlatFlash) Recover() {
 		}
 	}
 	s.c.Add("recovery_l2p_entries", int64(s.ftl.RebuildL2P()))
+	if s.ftl.MapEnabled() {
+		rec := s.ftl.LastRecovery()
+		if rec.UsedGTD {
+			s.c.Add("recovery_gtd_partial", 1)
+		}
+		if rec.Fallback {
+			s.c.Add("recovery_gtd_fallbacks", 1)
+		}
+		if rec.EquivMismatch {
+			s.c.Add("recovery_gtd_equiv_mismatches", 1)
+		}
+		s.c.Add("recovery_trans_pages_read", int64(rec.TransPagesRead))
+		s.c.Add("recovery_oob_pages_scanned", int64(rec.ScannedPages))
+	}
 	if err := s.CheckInvariants(); err != nil {
 		s.c.Add("recovery_invariant_violations", 1)
 		s.flight.Trigger("invariant", s.clock.Now(), 0)

@@ -70,6 +70,12 @@ type Config struct {
 	// Hierarchy overrides the hierarchy configuration (zero value = a small
 	// battery-backed FlatFlash suitable for sweeps).
 	Hierarchy *core.Config
+
+	// MapCachePages > 0 runs every crash point with the FTL's demand-paged
+	// translation map (that many translation pages resident), exercising the
+	// GTD recovery path instead of the full OOB scan. Ignored when Hierarchy
+	// is set — put the value in the override config instead.
+	MapCachePages int
 }
 
 func (c *Config) withDefaults() Config {
@@ -112,6 +118,8 @@ func (c Config) hierarchy() (*core.FlatFlash, error) {
 	// 16 MB SSD: fsim alone maps a 2 MB journal plus 2 MB of data slots.
 	cfg := core.DefaultConfig(16<<20, 256<<10)
 	cfg.SSDCacheFraction = 0.01 // a few dozen cache pages; still battery-backed
+	cfg.MapCachePages = c.MapCachePages
+	cfg.MapPipeline = c.MapCachePages > 0
 	return core.NewFlatFlash(cfg)
 }
 
@@ -123,6 +131,10 @@ type PointResult struct {
 	Fired      bool // the scheduled power loss actually hit the run
 	Faults     fault.Stats
 	Violations []string
+
+	// Demand-paged map recovery outcomes (zero in the default mode).
+	GTDPartial  int64 // recoveries that reloaded the map via the GTD
+	GTDFallback int64 // recoveries that fell back to the full OOB scan
 }
 
 // Report is a full sweep's outcome.
@@ -140,8 +152,14 @@ func (r *Report) Write(w io.Writer) error {
 		return err
 	}
 	for _, p := range r.Points {
-		if _, err := fmt.Fprintf(w, "%s point=%d crash_at=%dns fired=%v faults=%d violations=%d\n",
-			p.Workload, p.Index, int64(p.CrashAt), p.Fired, p.Faults.Total(), len(p.Violations)); err != nil {
+		// The gtd field appears only when the demand-paged map ran, keeping
+		// default-mode reports byte-identical to pre-mapcache output.
+		gtd := ""
+		if p.GTDPartial > 0 || p.GTDFallback > 0 {
+			gtd = fmt.Sprintf(" gtd_partial=%d gtd_fallback=%d", p.GTDPartial, p.GTDFallback)
+		}
+		if _, err := fmt.Fprintf(w, "%s point=%d crash_at=%dns fired=%v faults=%d violations=%d%s\n",
+			p.Workload, p.Index, int64(p.CrashAt), p.Fired, p.Faults.Total(), len(p.Violations), gtd); err != nil {
 			return err
 		}
 		for _, v := range p.Violations {
@@ -203,6 +221,21 @@ func (c Config) instrument(ff *core.FlatFlash) {
 	}
 	ff.Instrument(c.Flight, nil)
 	ff.SetFlightRecorder(c.Flight)
+}
+
+// noteMapRecovery folds the demand-paged map's recovery outcomes into a
+// point result (all-zero counters in the default all-in-memory mode leave it
+// untouched) and flags GTD-vs-full-scan equivalence mismatches as
+// violations: the partial recovery claimed a map the OOB ground truth
+// contradicts.
+func noteMapRecovery(ff *core.FlatFlash, res *PointResult) {
+	c := ff.Counters()
+	res.GTDPartial = c.Get("recovery_gtd_partial")
+	res.GTDFallback = c.Get("recovery_gtd_fallbacks")
+	if m := c.Get("recovery_gtd_equiv_mismatches"); m > 0 {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("GTD recovery disagreed with the full OOB scan %d time(s)", m))
+	}
 }
 
 // plan builds the fault plan for one crash run.

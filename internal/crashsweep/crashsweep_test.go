@@ -133,3 +133,54 @@ func TestConfigValidation(t *testing.T) {
 		t.Error("invalid extra plan accepted")
 	}
 }
+
+// Demand-paged translation map under the sweep: every crash point must still
+// verify clean, and recovery must come through the GTD partial-scan path (a
+// fallback to the full OOB scan on a healthy device would itself be a bug).
+func TestSweepDemandPagedMapRecovers(t *testing.T) {
+	cfg := testConfig()
+	cfg.MapCachePages = 4
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations != 0 {
+		var buf bytes.Buffer
+		rep.Write(&buf)
+		t.Fatalf("demand-paged sweep reported violations:\n%s", buf.String())
+	}
+	partial, fallback := 0, 0
+	for _, p := range rep.Points {
+		partial += int(p.GTDPartial)
+		fallback += int(p.GTDFallback)
+	}
+	if partial == 0 {
+		t.Fatal("no crash point recovered through the GTD partial-scan path")
+	}
+	if fallback != 0 {
+		t.Fatalf("%d crash points fell back to a full OOB scan on a healthy device", fallback)
+	}
+}
+
+// The demand-paged sweep is as deterministic as the default one.
+func TestSweepDemandPagedDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	for _, buf := range []*bytes.Buffer{&a, &b} {
+		cfg := testConfig()
+		cfg.MapCachePages = 4
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("same seed produced different demand-paged reports:\n--- a ---\n%s--- b ---\n%s",
+			a.String(), b.String())
+	}
+	if !bytes.Contains(a.Bytes(), []byte("gtd_partial=")) {
+		t.Fatal("demand-paged report renders no GTD recovery column")
+	}
+}

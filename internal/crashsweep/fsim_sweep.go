@@ -185,6 +185,7 @@ func fsimPoint(cfg Config, idx int, at sim.Time) (PointResult, error) {
 		res.Violations = append(res.Violations,
 			fmt.Sprintf("recovery reported %d internal invariant violations", v))
 	}
+	noteMapRecovery(ff, &res)
 	res.Faults = eng.Stats()
 	return res, nil
 }

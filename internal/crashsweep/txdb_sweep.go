@@ -152,6 +152,7 @@ run:
 		res.Violations = append(res.Violations,
 			fmt.Sprintf("recovery reported %d internal invariant violations", v))
 	}
+	noteMapRecovery(ff, &res)
 	res.Faults = eng.Stats()
 	return res, nil
 }

@@ -30,6 +30,8 @@ var registry = []struct {
 	{"capi", "Extension: coherent host caching of MMIO (§3.1)", CAPI},
 	{"consolidate", "Extension: server consolidation, multi-tenant slowdown & fairness", one(Consolidate)},
 	{"fleet", "Extension: sharded fleet scale-out under open-loop load", one(FleetSweep)},
+	{"mapsweep", "Extension: demand-paged translation map, map-cache size sweep", one(MapCacheSweep)},
+	{"mapamp", "Extension: demand-paged translation map, zipf-vs-scan miss amplification", one(MapMissAmp)},
 	{"table1", "Table 1: summary of improvements", one(Table1)},
 	{"table3", "Table 3: cost-effectiveness vs DRAM-only", one(Table3)},
 }

@@ -19,7 +19,17 @@ var (
 	telReg   *telemetry.Registry
 	attSink  *telemetry.Attribution
 	attRec   *telemetry.FlightRecorder
+
+	// mapCachePages > 0 switches every hierarchy built by the experiments to
+	// the demand-paged translation map (flatflash-bench's -map-cache flag).
+	mapCachePages int
 )
+
+// SetMapCache makes subsequent experiment runs build every hierarchy with
+// the FTL's demand-paged translation map, keeping pages translation pages
+// resident (0, the default, keeps the all-in-memory map). The mapsweep and
+// mapamp experiments set their own sizes and ignore this.
+func SetMapCache(pages int) { mapCachePages = pages }
 
 // SetTelemetry attaches a span probe and metrics registry to every
 // hierarchy built by subsequent experiment runs (flatflash-bench's
@@ -41,6 +51,10 @@ func SetAttribution(a *telemetry.Attribution, r *telemetry.FlightRecorder) {
 
 // build constructs one hierarchy by name from cfg.
 func build(name string, cfg core.Config) (core.Hierarchy, error) {
+	if mapCachePages > 0 && cfg.MapCachePages == 0 {
+		cfg.MapCachePages = mapCachePages
+		cfg.MapPipeline = true
+	}
 	var (
 		h   core.Hierarchy
 		err error

@@ -23,6 +23,21 @@ type PageAddr uint32
 // InvalidPage is a sentinel for "no page".
 const InvalidPage = PageAddr(^uint32(0))
 
+// PageType distinguishes what a programmed page holds. The type is recorded
+// in the page's out-of-band area at program time (alongside the logical
+// address the FTL stores there), so it survives power loss and recovery can
+// tell data pages from translation pages without decoding their contents.
+type PageType uint8
+
+// Page types.
+const (
+	// PageData holds host data (the default for every program).
+	PageData PageType = iota
+	// PageTrans holds a serialized slice of the FTL's L2P map — a
+	// translation page in the demand-paged (DFTL-style) mapping mode.
+	PageTrans
+)
+
 // Errors returned by the device.
 var (
 	ErrOutOfRange    = errors.New("flash: page address out of range")
@@ -96,13 +111,15 @@ type Device struct {
 	cfg    Config
 	data   [][]byte // nil until first program after an erase
 	state  []pageState
-	erases []int64 // per-block erase count (wear)
+	ptype  []PageType // OOB page-type tag, set at program time
+	erases []int64    // per-block erase count (wear)
 	chans  []*sim.Resource
 
 	faults *fault.Engine    // nil = no injection
 	att    telemetry.Attrib // nil when latency attribution is disabled
 
 	reads, programs          int64
+	readsTrans, progsTrans   int64 // translation-page slice of the totals
 	programFails, eraseFails int64
 }
 
@@ -115,6 +132,7 @@ func NewDevice(cfg Config) (*Device, error) {
 		cfg:    cfg,
 		data:   make([][]byte, cfg.TotalPages()),
 		state:  make([]pageState, cfg.TotalPages()),
+		ptype:  make([]PageType, cfg.TotalPages()),
 		erases: make([]int64, cfg.Blocks),
 		chans:  make([]*sim.Resource, cfg.Channels),
 	}
@@ -168,16 +186,50 @@ func (d *Device) Read(now sim.Time, p PageAddr, buf []byte) (sim.Time, error) {
 		copy(buf, d.data[p])
 	}
 	d.reads++
+	comp := telemetry.CompFlash
+	if d.ptype[p] == PageTrans {
+		d.readsTrans++
+		comp = telemetry.CompMapFetch
+	}
 	if d.att != nil {
-		d.att.Charge(telemetry.CompFlash, done.Sub(now))
+		d.att.Charge(comp, done.Sub(now))
 	}
 	return done, nil
+}
+
+// Peek copies page p into buf without advancing virtual time, touching
+// channel state, or counting as a served read. It models the boot-time
+// metadata scan recovery runs before the device accepts host traffic —
+// reads there are off the simulated clock, like the OOB scan RebuildL2P
+// already models.
+func (d *Device) Peek(p PageAddr, buf []byte) error {
+	if err := d.checkPage(p); err != nil {
+		return err
+	}
+	if len(buf) != d.cfg.PageSize {
+		return ErrBadPageSize
+	}
+	if d.state[p] == pageErased || d.data[p] == nil {
+		for i := range buf {
+			buf[i] = 0xFF
+		}
+	} else {
+		copy(buf, d.data[p])
+	}
+	return nil
 }
 
 // Program writes data (PageSize bytes) into erased page p and returns the
 // completion time. Programming a non-erased page fails, enforcing the NAND
 // erase-before-program invariant the FTL exists to manage.
 func (d *Device) Program(now sim.Time, p PageAddr, data []byte) (sim.Time, error) {
+	return d.ProgramTyped(now, p, data, PageData)
+}
+
+// ProgramTyped is Program with an explicit OOB page-type tag. Translation
+// pages charge their NAND service to the map-fetch attribution component so
+// budget tables separate map-management traffic from data traffic.
+func (d *Device) ProgramTyped(now sim.Time, p PageAddr, data []byte, t PageType) (sim.Time, error) {
 	if err := d.checkPage(p); err != nil {
 		return now, err
 	}
@@ -188,9 +240,16 @@ func (d *Device) Program(now sim.Time, p PageAddr, data []byte) (sim.Time, error
 		return now, ErrNotErased
 	}
 	_, done := d.channelOf(p).Acquire(now, d.cfg.ProgramLatency)
-	if d.att != nil {
-		d.att.Charge(telemetry.CompFlash, done.Sub(now))
+	comp := telemetry.CompFlash
+	if t == PageTrans {
+		comp = telemetry.CompMapFetch
 	}
+	if d.att != nil {
+		d.att.Charge(comp, done.Sub(now))
+	}
+	// The OOB tag is written with the program attempt, success or not: a
+	// failed program still leaves whatever reached the cells.
+	d.ptype[p] = t
 	if d.faults.FailProgram(now) {
 		// A failed program leaves the page in an untrustworthy, non-erased
 		// state (data nil reads back as 0xFF). The FTL must retire the block.
@@ -204,6 +263,9 @@ func (d *Device) Program(now sim.Time, p PageAddr, data []byte) (sim.Time, error
 	d.data[p] = buf
 	d.state[p] = pageProgrammed
 	d.programs++
+	if t == PageTrans {
+		d.progsTrans++
+	}
 	return done, nil
 }
 
@@ -225,9 +287,19 @@ func (d *Device) Erase(now sim.Time, b int) (sim.Time, error) {
 		p := first + PageAddr(i)
 		d.state[p] = pageErased
 		d.data[p] = nil
+		d.ptype[p] = PageData
 	}
 	d.erases[b]++
 	return done, nil
+}
+
+// TypeOf returns page p's OOB page-type tag (PageData for out-of-range or
+// never-programmed pages).
+func (d *Device) TypeOf(p PageAddr) PageType {
+	if d.checkPage(p) != nil {
+		return PageData
+	}
+	return d.ptype[p]
 }
 
 // IsErased reports whether page p is in the erased state.
@@ -249,6 +321,14 @@ func (d *Device) Wear() (totalErases, maxBlockErases, programs int64) {
 
 // Reads returns the total page reads served.
 func (d *Device) Reads() int64 { return d.reads }
+
+// WearByType splits the program and read totals by page type: data pages
+// versus translation pages (the demand-paged map's flash traffic). The
+// translation counts are zero when the map is all-in-memory, so existing
+// reports are unchanged.
+func (d *Device) WearByType() (dataReads, transReads, dataProgs, transProgs int64) {
+	return d.reads - d.readsTrans, d.readsTrans, d.programs - d.progsTrans, d.progsTrans
+}
 
 // FaultCounts returns how many injected program and erase failures the
 // device has surfaced.

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"flatflash/internal/flash"
+	"flatflash/internal/mapcache"
 	"flatflash/internal/sim"
 	"flatflash/internal/telemetry"
 )
@@ -54,6 +55,28 @@ type Config struct {
 	// WearWeight is how many valid pages one erase of wear is "worth" when
 	// WearLeveling is on (default 2 when zero).
 	WearWeight int
+
+	// MapCachePages > 0 enables the demand-paged translation map (DFTL
+	// style): the L2P map is sliced into translation pages stored in flash
+	// as their own page type, and only MapCachePages of them stay resident
+	// in the cached mapping table at a time. Map misses fetch the
+	// translation page from flash; evicted dirty pages are written back in
+	// batches. 0 (the default) keeps the whole map host-resident, with
+	// behavior and reports byte-identical to before the mode existed.
+	MapCachePages int
+	// MapPipeline overlaps a host write's translation-map access with its
+	// data program and takes evicted-page write-backs off the critical path
+	// (FMMU-style pipelining). Reads still serialize the map fetch before
+	// the data read — the data's location is the fetch's output.
+	MapPipeline bool
+	// MapWriteBackBatch is how many evicted dirty translation pages
+	// accumulate before one batched write-back (default 4 when zero).
+	MapWriteBackBatch int
+	// MapCheckpointEvery checkpoints the map — flush every dirty
+	// translation page and commit the GTD root — after this many page
+	// programs (default 256 when zero; negative disables periodic
+	// checkpoints, leaving only explicit FlushMap calls).
+	MapCheckpointEvery int
 }
 
 // DefaultConfig returns an FTL over flash.DefaultConfig with 1/8 of blocks
@@ -78,17 +101,24 @@ func (c Config) Validate() error {
 	if c.GCFreeBlocksLow < 1 || c.GCFreeBlocksLow > c.OverprovisionBlocks {
 		return fmt.Errorf("ftl: GCFreeBlocksLow %d", c.GCFreeBlocksLow)
 	}
+	if c.MapCachePages < 0 {
+		return fmt.Errorf("ftl: MapCachePages %d", c.MapCachePages)
+	}
+	if c.MapWriteBackBatch < 0 {
+		return fmt.Errorf("ftl: MapWriteBackBatch %d", c.MapWriteBackBatch)
+	}
 	return nil
 }
 
 // RemapStats reports GC relocation activity and the cost FlatFlash pays to
 // lazily propagate new mappings to host PTEs/TLBs in batches (§4).
 type RemapStats struct {
-	Relocations     int64 // pages moved by GC
-	BatchInterrupts int64 // one per GC pass that relocated pages
-	GCRuns          int64
-	ErasedBlocks    int64
-	BadBlocks       int64 // blocks retired after program/erase failures
+	Relocations      int64 // data pages moved by GC
+	TransRelocations int64 // translation pages moved by GC (demand-paged map)
+	BatchInterrupts  int64 // one per GC pass that relocated pages
+	GCRuns           int64
+	ErasedBlocks     int64
+	BadBlocks        int64 // blocks retired after program/erase failures
 }
 
 // FTL is a page-mapped flash translation layer.
@@ -108,10 +138,32 @@ type FTL struct {
 	inGC     bool
 	probe    telemetry.Probe  // nil when telemetry is disabled
 	att      telemetry.Attrib // nil when latency attribution is disabled
+	attSus   attribSuspender  // att's optional background routing, if any
 
 	hostWrites  int64 // page writes requested by the host layers
-	flashWrites int64 // page programs issued to the device
+	flashWrites int64 // data-page programs issued to the device
+	transWrites int64 // translation-page programs (demand-paged map)
 	remap       RemapStats
+
+	// Demand-paged translation map state (nil/empty when MapCachePages=0).
+	mc         *mapcache.Cache
+	epp        int      // L2P entries per translation page
+	transBuf   []byte   // scratch for translation-page serialization
+	p2t        []int32  // physical page -> tvpn (OOB tag), -1 if none
+	blockStamp []int64  // per-block sequence of the last program (OOB)
+	mapSeq     int64    // monotone map-mutation/program sequence
+	sinceCkpt  int64    // programs since the last checkpoint
+	wbPending  []uint32 // evicted dirty tvpns awaiting a batched write-back
+	lastRec    RecoveryInfo
+}
+
+// attribSuspender is the optional background-routing surface of an Attrib
+// sink (implemented by *telemetry.Attribution). Pipelined write-backs route
+// their charges to the background account through it, since the host does
+// not wait for them.
+type attribSuspender interface {
+	Suspend()
+	Resume()
 }
 
 // New builds an FTL (and its flash device) from cfg.
@@ -140,6 +192,11 @@ func New(cfg Config) (*FTL, error) {
 	}
 	for b := 0; b < cfg.Flash.Blocks; b++ {
 		f.freeBlocks = append(f.freeBlocks, b)
+	}
+	if cfg.MapCachePages > 0 {
+		if err := f.initDemandMap(); err != nil {
+			return nil, err
+		}
 	}
 	return f, nil
 }
@@ -171,8 +228,13 @@ func (f *FTL) SetProbe(p telemetry.Probe) { f.probe = p }
 
 // SetAttrib attaches a latency attribution sink: host writes charge any
 // garbage-collection stall ahead of them to the GC component (NAND service
-// itself is charged by the flash device). A nil sink disables attribution.
-func (f *FTL) SetAttrib(a telemetry.Attrib) { f.att = a }
+// itself is charged by the flash device), and demand-paged map accesses
+// charge cached-table hits to the map-fetch component. A nil sink disables
+// attribution.
+func (f *FTL) SetAttrib(a telemetry.Attrib) {
+	f.att = a
+	f.attSus, _ = a.(attribSuspender)
+}
 
 // IsMapped reports whether logical page lpn has ever been written.
 func (f *FTL) IsMapped(lpn uint32) bool {
@@ -189,6 +251,15 @@ func (f *FTL) ReadPage(now sim.Time, lpn uint32, buf []byte) (sim.Time, error) {
 	}
 	if len(buf) != f.cfg.Flash.PageSize {
 		return now, flash.ErrBadPageSize
+	}
+	if f.mc != nil {
+		// The data's physical location is the map access's output, so a
+		// read serializes behind the translation-page fetch.
+		ready, err := f.mapAccess(now, lpn, false)
+		if err != nil {
+			return now, err
+		}
+		now = ready
 	}
 	p := f.l2p[lpn]
 	if p == flash.InvalidPage {
@@ -236,9 +307,27 @@ func (f *FTL) WritePage(now sim.Time, lpn uint32, data []byte) (sim.Time, error)
 			f.att.Charge(telemetry.CompGC, now.Sub(pre))
 		}
 	}
-	p, done, err := f.programAt(now, data)
+	issue, mapReady := now, now
+	if f.mc != nil {
+		var err error
+		mapReady, err = f.mapAccess(now, lpn, true)
+		if err != nil {
+			return now, err
+		}
+		if !f.cfg.MapPipeline {
+			// Classic DFTL: the map access completes before the data
+			// program starts.
+			issue = mapReady
+		}
+	}
+	p, done, err := f.programAt(issue, data, flash.PageData)
 	if err != nil {
 		return now, err
+	}
+	if f.mc != nil && f.cfg.MapPipeline && mapReady.After(done) {
+		// FMMU pipelining: the map fetch ran concurrently with the data
+		// program; the write completes when the later of the two does.
+		done = mapReady
 	}
 	f.invalidate(lpn)
 	f.l2p[lpn] = p
@@ -247,21 +336,37 @@ func (f *FTL) WritePage(now sim.Time, lpn uint32, data []byte) (sim.Time, error)
 	if f.probe != nil {
 		f.probe.Span(telemetry.SpanFlashWrite, telemetry.TrackFlash, now, done, int64(lpn))
 	}
+	if f.mc != nil && !f.inGC {
+		done, err = f.maybeCheckpoint(done)
+		if err != nil {
+			return now, err
+		}
+	}
 	return done, nil
 }
 
-// programAt allocates a slot and programs data into it. An injected program
-// failure retires the slot's block (bad-block remapping) and the write
-// retries in a fresh block; the failed attempt's latency is still paid.
-func (f *FTL) programAt(now sim.Time, data []byte) (flash.PageAddr, sim.Time, error) {
+// programAt allocates a slot and programs data into it with the given OOB
+// page-type tag. An injected program failure retires the slot's block
+// (bad-block remapping) and the write retries in a fresh block; the failed
+// attempt's latency is still paid.
+func (f *FTL) programAt(now sim.Time, data []byte, t flash.PageType) (flash.PageAddr, sim.Time, error) {
 	for {
 		p, err := f.allocSlot()
 		if err != nil {
 			return flash.InvalidPage, now, err
 		}
-		done, err := f.dev.Program(now, p, data)
+		done, err := f.dev.ProgramTyped(now, p, data, t)
 		if err == nil {
-			f.flashWrites++
+			if t == flash.PageTrans {
+				f.transWrites++
+			} else {
+				f.flashWrites++
+			}
+			if f.mc != nil {
+				f.mapSeq++
+				f.sinceCkpt++
+				f.blockStamp[f.dev.BlockOf(p)] = f.mapSeq
+			}
 			return p, done, nil
 		}
 		if !errors.Is(err, flash.ErrProgramFailed) {
@@ -291,6 +396,17 @@ func (f *FTL) markBad(b int) {
 func (f *FTL) Trim(lpn uint32) error {
 	if int(lpn) >= len(f.l2p) {
 		return ErrOutOfRange
+	}
+	if f.mc != nil && f.l2p[lpn] != flash.InvalidPage {
+		// A trim removes a mapping without programming anywhere, so it
+		// leaves no new-copy evidence for recovery's partial OOB scan.
+		// Stamp the old page's block as mutated: recovery then rescans it
+		// and drops the stale persisted entry. The translation page itself
+		// goes dirty so the next checkpoint persists the removal. Trim has
+		// no clock, so the residency touch is timeless.
+		f.mapSeq++
+		f.blockStamp[f.dev.BlockOf(f.l2p[lpn])] = f.mapSeq
+		f.touchMapTimeless(lpn)
 	}
 	f.invalidate(lpn)
 	f.l2p[lpn] = flash.InvalidPage
@@ -400,6 +516,15 @@ func (f *FTL) collect(now sim.Time, victim int) (sim.Time, error) {
 		p := first + flash.PageAddr(i)
 		lpn := f.p2l[p]
 		if lpn == noLogical {
+			if f.mc != nil && f.p2t[p] != noTrans {
+				// Live translation page in the victim: relocate it like
+				// data, but through the GTD rather than the L2P map.
+				done, err := f.relocateTransPage(now, p)
+				if err != nil {
+					return now, err
+				}
+				now = done
+			}
 			continue
 		}
 		// Read phase — unless the SSD-Cache holds a newer dirty copy, in
@@ -453,7 +578,17 @@ func (f *FTL) collect(now sim.Time, victim int) (sim.Time, error) {
 }
 
 func (f *FTL) writeRelocated(now sim.Time, lpn uint32, data []byte) (sim.Time, error) {
-	p, done, err := f.programAt(now, data)
+	if f.mc != nil {
+		// Relocation rewrites lpn's mapping, so its translation page must be
+		// dirtied — otherwise a checkpoint taken between the move and a crash
+		// would persist a stale entry whose block the partial recovery scan no
+		// longer revisits, losing the mapping. The touch is bookkeeping only:
+		// a full mapAccess here could fetch, evict, and write back translation
+		// pages mid-GC, letting one collect() program more pages than the
+		// victim frees (GC livelock). The l2p array is already authoritative.
+		f.touchMapTimeless(lpn)
+	}
+	p, done, err := f.programAt(now, data, flash.PageData)
 	if err != nil {
 		return now, err
 	}
@@ -464,43 +599,37 @@ func (f *FTL) writeRelocated(now sim.Time, lpn uint32, data []byte) (sim.Time, e
 	return done, nil
 }
 
-// WriteAmplification returns flash page programs divided by host page
-// writes, or 0 if the host has not written.
+// WriteAmplification returns flash page programs (data plus translation
+// pages — map maintenance is real wear) divided by host page writes, or 0 if
+// the host has not written. With the default all-in-memory map the
+// translation term is zero, so the ratio is unchanged.
 func (f *FTL) WriteAmplification() float64 {
 	if f.hostWrites == 0 {
 		return 0
 	}
-	return float64(f.flashWrites) / float64(f.hostWrites)
+	return float64(f.flashWrites+f.transWrites) / float64(f.hostWrites)
 }
 
-// Writes returns (hostWrites, flashWrites) in page units.
+// Writes returns (hostWrites, data flashWrites) in page units; translation
+// programs are reported separately by TransWrites.
 func (f *FTL) Writes() (host, flashProgs int64) { return f.hostWrites, f.flashWrites }
 
 // Remap returns GC relocation statistics.
 func (f *FTL) Remap() RemapStats { return f.remap }
 
 // RebuildL2P reconstructs the logical-to-physical map and the per-block
-// valid counts from the per-page metadata (modeling the OOB logical-address
-// scan a real FTL runs after power loss, since the page's logical address is
-// programmed with its data and survives the crash). It returns the number of
+// valid counts after power loss. With the all-in-memory map it models the
+// full OOB logical-address scan (the page's logical address is programmed
+// with its data and survives the crash). With the demand-paged map it
+// reloads persisted translation pages through the GTD and OOB-scans only the
+// blocks programmed since the last checkpoint, falling back to the full scan
+// if the GTD fails validation (see rebuildFromGTD). It returns the number of
 // live mappings recovered.
 func (f *FTL) RebuildL2P() int {
-	for i := range f.l2p {
-		f.l2p[i] = flash.InvalidPage
+	if f.mc != nil {
+		return f.rebuildFromGTD()
 	}
-	for i := range f.validCount {
-		f.validCount[i] = 0
-	}
-	n := 0
-	for p, lpn := range f.p2l {
-		if lpn == noLogical {
-			continue
-		}
-		f.l2p[lpn] = flash.PageAddr(p)
-		f.validCount[f.dev.BlockOf(flash.PageAddr(p))]++
-		n++
-	}
-	return n
+	return f.installMap(f.rebuildFullScan())
 }
 
 // CheckConsistency verifies the FTL's internal invariants: l2p and p2l are
@@ -526,6 +655,35 @@ func (f *FTL) CheckConsistency() error {
 		}
 		if int(p) >= len(f.p2l) || f.p2l[p] != int32(lpn) {
 			return fmt.Errorf("ftl: l2p[%d] = %d not mirrored in p2l", lpn, p)
+		}
+	}
+	if f.mc != nil {
+		for p, tvpn := range f.p2t {
+			if tvpn == noTrans {
+				continue
+			}
+			if f.p2l[p] != noLogical {
+				return fmt.Errorf("ftl: page %d tagged both data (lpn %d) and translation (tvpn %d)", p, f.p2l[p], tvpn)
+			}
+			if got := f.mc.GTD(uint32(tvpn)); got != flash.PageAddr(p) {
+				return fmt.Errorf("ftl: p2t[%d] = %d but GTD points at %d", p, tvpn, got)
+			}
+			if f.dev.TypeOf(flash.PageAddr(p)) != flash.PageTrans {
+				return fmt.Errorf("ftl: page %d holds tvpn %d but OOB type is not translation", p, tvpn)
+			}
+			valid[f.dev.BlockOf(flash.PageAddr(p))]++
+		}
+		for tvpn := 0; tvpn < f.mc.TransPages(); tvpn++ {
+			addr := f.mc.GTD(uint32(tvpn))
+			if addr == flash.InvalidPage {
+				continue
+			}
+			if int(addr) >= len(f.p2t) || f.p2t[addr] != int32(tvpn) {
+				return fmt.Errorf("ftl: GTD[%d] = %d not mirrored in p2t", tvpn, addr)
+			}
+		}
+		if err := f.mc.Check(); err != nil {
+			return err
 		}
 	}
 	for b := range valid {

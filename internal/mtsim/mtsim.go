@@ -108,11 +108,15 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// DefaultDeviceConfig returns the device configuration a nil Config.Device
+// selects, so callers can tweak one field without re-deriving the geometry.
+func DefaultDeviceConfig() core.Config { return core.DefaultConfig(64<<20, 4<<20) }
+
 func (c Config) deviceConfig() core.Config {
 	if c.Device != nil {
 		return *c.Device
 	}
-	return core.DefaultConfig(64<<20, 4<<20)
+	return DefaultDeviceConfig()
 }
 
 // streamSeed mixes the run seed, the tenant seed, and the tenant index with

@@ -22,6 +22,7 @@ const (
 	FlightOutHelp  = "write the anomaly flight-recorder dump as JSON Lines to this file"
 	SLOHelp        = "per-op latency SLO; enables violation/burn counters and p99-over-SLO anomaly triggers (0 disables)"
 	ShedWaitHelp   = "open-loop admission control: shed an arrival whose estimated queue wait exceeds this (0 defaults to half the SLO)"
+	MapCacheHelp   = "demand-page the FTL's translation map, keeping this many translation pages resident (0 keeps the whole map in memory)"
 )
 
 // Flags holds the parsed observability flag values.
@@ -30,6 +31,7 @@ type Flags struct {
 	FlightOut  *string
 	SLO        *time.Duration
 	ShedWait   *time.Duration
+	MapCache   *int
 }
 
 // Register installs the shared observability flags on fs.
@@ -39,6 +41,7 @@ func Register(fs *flag.FlagSet) *Flags {
 		FlightOut:  fs.String("flight-out", "", FlightOutHelp),
 		SLO:        fs.Duration("slo", 0, SLOHelp),
 		ShedWait:   fs.Duration("shed-wait", 0, ShedWaitHelp),
+		MapCache:   fs.Int("map-cache", 0, MapCacheHelp),
 	}
 }
 

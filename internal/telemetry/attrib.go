@@ -36,6 +36,11 @@ const (
 	CompCacheFill
 	// CompFlash is NAND channel/die service (reads and programs).
 	CompFlash
+	// CompMapFetch is demand-paged translation-map service: cached-map
+	// lookups, translation-page fetches from flash on a map miss, and
+	// dirty map-page write-backs (DFTL/FMMU mode; zero when the map is
+	// all-in-memory).
+	CompMapFetch
 	// CompGC is FTL garbage-collection stall time ahead of a host write.
 	CompGC
 	// CompPromote is promotion work on the critical path: the stall ablation
@@ -62,6 +67,7 @@ var componentNames = [NumComponents]string{
 	CompLink:      "link",
 	CompCacheFill: "cache_fill",
 	CompFlash:     "flash",
+	CompMapFetch:  "map_fetch",
 	CompGC:        "gc",
 	CompPromote:   "promote",
 	CompPersist:   "persist",
@@ -429,7 +435,7 @@ func (a *Attribution) epochCheck(at sim.Time) {
 // budgetComponents is the fixed render order of the budget table.
 var budgetComponents = [NumComponents]Component{
 	CompTLB, CompDRAM, CompHostCache, CompPLB, CompLink, CompCacheFill,
-	CompFlash, CompGC, CompPromote, CompPersist, CompSoftware,
+	CompFlash, CompMapFetch, CompGC, CompPromote, CompPersist, CompSoftware,
 }
 
 // WriteBudget renders the per-account, per-component latency-budget table.

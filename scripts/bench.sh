@@ -5,7 +5,7 @@
 # streams to the terminal.
 #
 # The output name comes from the single argument; `make bench` passes the
-# current snapshot name (BENCH_4.json), which is also the default here so a
+# current snapshot name (BENCH_8.json), which is also the default here so a
 # bare ./scripts/bench.sh writes the same file the Makefile would.
 #
 # BENCHTIME overrides the per-benchmark budget (default 1s). CI's warn-only
@@ -16,7 +16,7 @@ if [ $# -gt 1 ]; then
     echo "usage: $0 [output.json]" >&2
     exit 2
 fi
-out=${1:-BENCH_4.json}
+out=${1:-BENCH_8.json}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 

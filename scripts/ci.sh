@@ -116,6 +116,38 @@ grep -q "fleet sweep points=4" /tmp/fleet_run1.txt || {
     echo "fleet report missing sweep header"; exit 1; }
 echo "fleet smoke ok"
 
+echo "== demand map smoke =="
+# The demand-paged translation map must never change data results — only
+# when map accesses cost time and what gets persisted. The equivalence
+# properties run explicitly here (FTL-level and through the full hierarchy),
+# then the CLI surface: same-seed demand-mode runs must be byte-identical
+# with the map counters visible, and a demand-mode crash sweep must verify
+# clean while recovering through the GTD partial-scan path on every point.
+go test -count=1 -run 'TestDemandEquivalence' ./internal/ftl
+go test -count=1 -run 'TestDemandModeDataEquivalence' ./internal/core
+map_run() {
+    /tmp/flatflash-sim -kind flatflash -pattern zipf -ops 4000 -seed 7 -map-cache 4
+}
+map_run > /tmp/map_run1.txt
+map_run > /tmp/map_run2.txt
+cmp /tmp/map_run1.txt /tmp/map_run2.txt || {
+    echo "demand-mode reports differ across same-seed runs"; exit 1; }
+for counter in map_cache_hits map_cache_misses map_fetches flash_trans_programs; do
+    grep -q "$counter" /tmp/map_run1.txt || {
+        echo "demand-mode report missing $counter"; exit 1; }
+done
+/tmp/flatflash-sim -kind flatflash -pattern zipf -ops 4000 -seed 7 > /tmp/map_off.txt
+if grep -q "map_cache" /tmp/map_off.txt; then
+    echo "default mode leaked map counters into the report"; exit 1
+fi
+/tmp/flatflash-bench crashsweep -points 6 -map-cache 4 > /tmp/map_cs.txt || {
+    echo "demand-mode crash sweep found violations"; exit 1; }
+grep -q "violations=0" /tmp/map_cs.txt || {
+    echo "demand-mode crash sweep report lacks violations=0"; exit 1; }
+grep -q "gtd_partial=1" /tmp/map_cs.txt || {
+    echo "demand-mode crash sweep never used GTD partial-scan recovery"; exit 1; }
+echo "demand map smoke ok"
+
 echo "== coverage floors =="
 # Safety-critical packages keep a per-package statement-coverage floor: the
 # fault engine guards crash consistency, and the analyzer suite guards every
@@ -145,5 +177,9 @@ cover_floor ./internal/obsflags 80
 # floors as well.
 cover_floor ./internal/fleet 80
 cover_floor ./internal/workload 80
+# The demand-paged translation map sits under every demand-mode result and
+# its replacement/GTD bookkeeping is pure policy code — cheap to cover, and
+# costly to get wrong silently.
+cover_floor ./internal/mapcache 80
 
 echo "ci: all green"
