@@ -30,7 +30,7 @@ race:
 	go test -race ./...
 
 bench:
-	./scripts/bench.sh BENCH_8.json
+	./scripts/bench.sh BENCH_9.json
 
 fuzz:
 	go test -fuzz=FuzzParse -fuzztime=10s -run=^$$ ./internal/trace

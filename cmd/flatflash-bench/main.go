@@ -124,6 +124,7 @@ func main() {
 	att, flightRec := obs.Build()
 	experiments.SetAttribution(att, flightRec)
 	experiments.SetMapCache(*obs.MapCache)
+	experiments.SetParallel(*obs.Parallel)
 
 	scale := experiments.Full
 	if *quick {
@@ -234,6 +235,7 @@ func runConsolidate(args []string) {
 		RegionBytes:    *region,
 		Think:          sim.Duration(think.Nanoseconds()),
 		Workers:        *workers,
+		Parallel:       *obs.Parallel,
 		DisableArbiter: *noArb,
 		Attrib:         obs.AttribEnabled(),
 		SLO:            obs.SLODur(),
@@ -332,6 +334,7 @@ func runFleet(args []string) {
 		MigratePages: *mPages,
 		MigrateLat:   sim.Duration(mLat.Nanoseconds()),
 		Workers:      *workers,
+		Parallel:     *obs.Parallel,
 	}
 	var flightRec *telemetry.FlightRecorder
 	if obs.FlightEnabled() {

@@ -16,10 +16,12 @@
 // build environment is hermetic: packages are loaded by internal/analyzers/load
 // via `go list -json -deps` plus go/types.
 //
-// Two source annotations interact with the suite:
+// Three source annotations interact with the suite:
 //
 //	//flatflash:hotpath    on a function's doc comment opts it into the
 //	                       hotalloc allocation gate.
+//	//flatflash:lp         on a function's doc comment opts it into the
+//	                       sharedstate gate for psim LP bodies.
 //	//lint:ignore <analyzers> <reason>
 //	                       on (or immediately above) a line suppresses the
 //	                       named analyzers' diagnostics for that line. The
@@ -97,7 +99,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full flatflash-lint suite.
 func All() []*Analyzer {
-	return []*Analyzer{Walltime, SeededRand, MapIter, HotAlloc, ProbeNil}
+	return []*Analyzer{Walltime, SeededRand, MapIter, HotAlloc, ProbeNil, SharedState}
 }
 
 // Run applies the analyzers to every target, drops diagnostics suppressed

@@ -14,11 +14,10 @@ func TestDirectiveValidation(t *testing.T) {
 	analyzertest.Run(t, analyzers.Walltime, "flatflash/lintdir/a")
 }
 
-// TestSuiteNames pins the suite composition: ISSUE 5 ships exactly these
-// five analyzers, and CLI -only flags and //lint:ignore directives resolve
-// against their names.
+// TestSuiteNames pins the suite composition: CLI -only flags and
+// //lint:ignore directives resolve against these names.
 func TestSuiteNames(t *testing.T) {
-	want := []string{"walltime", "seededrand", "mapiter", "hotalloc", "probenil"}
+	want := []string{"walltime", "seededrand", "mapiter", "hotalloc", "probenil", "sharedstate"}
 	all := analyzers.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() has %d analyzers, want %d", len(all), len(want))

@@ -1,0 +1,16 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"flatflash/internal/analyzers"
+	"flatflash/internal/analyzers/analyzertest"
+)
+
+// TestSharedState: shared mutable state reached from //flatflash:lp
+// functions is flagged construct by construct, unannotated functions are
+// out of scope, LP-struct state and sentinel-error reads stay legal, and
+// //lint:ignore suppresses.
+func TestSharedState(t *testing.T) {
+	analyzertest.Run(t, analyzers.SharedState, "flatflash/sharedstate/a")
+}

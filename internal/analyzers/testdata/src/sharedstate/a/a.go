@@ -1,0 +1,80 @@
+// Package a seeds sharedstate violations: shared mutable state reached from
+// //flatflash:lp functions is flagged; identical constructs in unannotated
+// functions are not, and LP-struct state stays legal.
+package a
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+var total int64
+var hot = map[uint64]int64{}
+var ErrStalled = errors.New("stalled")
+var mu sync.Mutex
+
+type lp struct {
+	clock int64
+	inbox []int64
+	heat  map[uint64]int64
+}
+
+// Run is clean: everything it touches hangs off the LP struct or its
+// arguments, and sentinel-error comparisons read only immutable state.
+//
+//flatflash:lp
+func (l *lp) Run(horizon int64, errs []error) int64 {
+	for _, m := range l.inbox {
+		if m >= horizon {
+			break
+		}
+		l.clock = m
+		l.heat[uint64(m)]++
+	}
+	for _, err := range errs {
+		if err == ErrStalled {
+			return -1
+		}
+	}
+	return l.clock
+}
+
+// runViolations collects one of each flagged construct.
+//
+//flatflash:lp
+func (l *lp) runViolations(horizon int64, ch chan int64) {
+	total++                      // want "write to package-level variable total"
+	l.clock = total              // want "read of package-level variable total"
+	hot[0] = l.clock             // want "read of package-level variable hot"
+	mu.Lock()                    // want "sync.Lock in LP body" want "read of package-level variable mu"
+	mu.Unlock()                  // want "sync.Unlock in LP body" want "read of package-level variable mu"
+	atomic.AddInt64(&l.clock, 1) // want "atomic.AddInt64 in LP body"
+	go func() { l.clock++ }()    // want "go statement in LP body"
+	ch <- l.clock                // want "channel send in LP body"
+	l.clock = <-ch               // want "channel receive in LP body"
+	select {                     // want "select in LP body"
+	case v := <-ch: // want "channel receive in LP body"
+		l.clock = v
+	default:
+	}
+	for v := range ch { // want "range over channel in LP body"
+		l.clock = v
+	}
+}
+
+// coldPath uses the same constructs without the annotation: out of scope.
+func (l *lp) coldPath(ch chan int64) {
+	total++
+	mu.Lock()
+	ch <- total
+	mu.Unlock()
+}
+
+// runSuppressed keeps one justified shared read.
+//
+//flatflash:lp
+func (l *lp) runSuppressed() {
+	//lint:ignore sharedstate read-only after init, set before any LP starts
+	l.clock = total
+}

@@ -29,6 +29,7 @@ func Consolidate(s Scale) *Report {
 		RegionBytes:  uint64(s.pick(128<<10, 512<<10)),
 		Think:        sim.Micros(1),
 		Workers:      4,
+		Parallel:     parallelWorkers,
 		Probe:        telProbe,
 		Registry:     telReg,
 		Attrib:       attSink != nil,

@@ -40,7 +40,8 @@ func FleetSweep(s Scale) *Report {
 			ShedWait:      slo / 8,
 			IssueOverhead: 300,
 		},
-		Workers: 4,
+		Workers:  4,
+		Parallel: parallelWorkers,
 	}
 	if attRec != nil {
 		cfg.Server.Flight = attRec // single-writer sink: sweep drops to one worker

@@ -99,6 +99,9 @@ func (c Config) Capacity() uint64 {
 // TotalPages returns the number of physical pages.
 func (c Config) TotalPages() int { return c.PagesPerBlock * c.Blocks }
 
+// slabPages is how many page buffers one slab allocation covers.
+const slabPages = 64
+
 type pageState uint8
 
 const (
@@ -114,6 +117,16 @@ type Device struct {
 	ptype  []PageType // OOB page-type tag, set at program time
 	erases []int64    // per-block erase count (wear)
 	chans  []*sim.Resource
+
+	// free recycles page buffers from erased pages back into programs.
+	// Read and Peek copy page contents out, so no caller ever holds a
+	// reference into data[p] and a reclaimed buffer cannot alias live
+	// state. The pool never exceeds TotalPages buffers — the same memory
+	// the data array held before erasing. First-touch programs that find
+	// the pool empty carve buffers from slab in slabPages-page chunks, so
+	// filling a fresh device costs one allocation per chunk, not per page.
+	free [][]byte
+	slab []byte
 
 	faults *fault.Engine    // nil = no injection
 	att    telemetry.Attrib // nil when latency attribution is disabled
@@ -258,7 +271,20 @@ func (d *Device) ProgramTyped(now sim.Time, p PageAddr, data []byte, t PageType)
 		d.programFails++
 		return done, ErrProgramFailed
 	}
-	buf := make([]byte, d.cfg.PageSize)
+	var buf []byte
+	if n := len(d.free); n > 0 {
+		buf, d.free = d.free[n-1], d.free[:n-1]
+	} else {
+		if len(d.slab) < d.cfg.PageSize {
+			chunk := slabPages
+			if t := d.cfg.TotalPages(); t < chunk {
+				chunk = t
+			}
+			d.slab = make([]byte, chunk*d.cfg.PageSize)
+		}
+		buf = d.slab[:d.cfg.PageSize:d.cfg.PageSize]
+		d.slab = d.slab[d.cfg.PageSize:]
+	}
 	copy(buf, data)
 	d.data[p] = buf
 	d.state[p] = pageProgrammed
@@ -286,6 +312,9 @@ func (d *Device) Erase(now sim.Time, b int) (sim.Time, error) {
 	for i := 0; i < d.cfg.PagesPerBlock; i++ {
 		p := first + PageAddr(i)
 		d.state[p] = pageErased
+		if buf := d.data[p]; buf != nil {
+			d.free = append(d.free, buf)
+		}
 		d.data[p] = nil
 		d.ptype[p] = PageData
 	}

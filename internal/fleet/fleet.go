@@ -46,6 +46,13 @@ type Config struct {
 	// MigrateLat is the per-page copy cost charged to both devices; 0
 	// selects 20µs (a page transit over the inter-shard link).
 	MigrateLat sim.Duration
+
+	// Parallel, when >= 2, executes the shards as psim logical processes on
+	// that many workers (see parallel.go). Reports stay byte-identical to
+	// the sequential loop. Single-shard configs and runs with a shared
+	// flight recorder (a single-writer sink) fall back to the sequential
+	// loop regardless.
+	Parallel int
 }
 
 // Validate checks the configuration.
@@ -61,6 +68,9 @@ func (c Config) Validate() error {
 	}
 	if c.MigrateEpoch < 0 || c.MigratePages < 0 || c.MigrateLat < 0 {
 		return fmt.Errorf("fleet: negative migration parameter")
+	}
+	if c.Parallel < 0 {
+		return fmt.Errorf("fleet: negative parallel worker count %d", c.Parallel)
 	}
 	if err := c.Arrivals.Validate(); err != nil {
 		return err
@@ -126,26 +136,14 @@ func Run(cfg Config) (*Result, error) {
 		MigrateEpochNS: int64(cfg.MigrateEpoch),
 		KeyShare:       make([]float64, cfg.Shards),
 	}
-	pageSize := uint64(dev.PageSize)
-	m := newMigrator(cfg, servers)
-	routed := make([]int64, cfg.Shards)
-	for {
-		a, ok := gen.Next()
-		if !ok {
-			break
-		}
-		m.maybeRebalance(a.At, &res.Migrations)
-		page := a.Op.Off / pageSize
-		sh := m.owner(page)
-		if sh < 0 {
-			sh = ring.Lookup(page)
-		}
-		routed[sh]++
-		admitted, err := servers[sh].Arrive(a.At, a.Op)
-		if err != nil {
-			return nil, fmt.Errorf("fleet: shard %d arrival at %d: %w", sh, a.At, err)
-		}
-		m.observe(sh, page, admitted)
+	var routed []int64
+	if cfg.useParallel() {
+		routed, err = runParallel(cfg, gen, ring, servers, dev, &res.Migrations)
+	} else {
+		routed, err = runSequential(cfg, gen, ring, servers, dev, &res.Migrations)
+	}
+	if err != nil {
+		return nil, err
 	}
 	for _, s := range servers {
 		s.Finish()
@@ -160,6 +158,41 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// useParallel reports whether the run goes through the psim engine: opted
+// in, more than one shard to parallelize, and no shared single-writer
+// flight-recorder sink.
+func (c Config) useParallel() bool {
+	return c.Parallel >= 2 && c.Shards >= 2 && c.Server.Flight == nil
+}
+
+// runSequential is the single-goroutine event loop: arrivals stream from
+// the generator in virtual-time order through the migrator and ring onto
+// their shard's server.
+func runSequential(cfg Config, gen *workload.ArrivalGen, ring *Ring, servers []*mtsim.Server, dev core.Config, migrations *int64) ([]int64, error) {
+	pageSize := uint64(dev.PageSize)
+	m := newMigrator(cfg, servers)
+	routed := make([]int64, cfg.Shards)
+	for {
+		a, ok := gen.Next()
+		if !ok {
+			break
+		}
+		m.maybeRebalance(a.At, migrations)
+		page := a.Op.Off / pageSize
+		sh := m.owner(page)
+		if sh < 0 {
+			sh = ring.Lookup(page)
+		}
+		routed[sh]++
+		admitted, err := servers[sh].Arrive(a.At, a.Op)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: shard %d arrival at %d: %w", sh, a.At, err)
+		}
+		m.observe(sh, page, admitted)
+	}
+	return routed, nil
 }
 
 // migrator tracks per-epoch page heat and promotion churn and rebalances
@@ -235,51 +268,87 @@ func (m *migrator) maybeRebalance(now sim.Time, migrations *int64) {
 	}
 }
 
-// rebalance moves the hottest pages of every saturated shard (promotion
-// churn at or above its DRAM frame budget this epoch) to the least-loaded
-// shard. Page selection sorts the heat map — count descending, page
-// ascending — so the choice is a pure function of the run so far.
-func (m *migrator) rebalance(at sim.Time, migrations *int64) {
-	type pageHeat struct {
-		page uint64
-		n    int64
+// pageHeat is one page's admitted-arrival count inside an epoch.
+type pageHeat struct {
+	page uint64
+	n    int64
+}
+
+// pageMove is one planned migration: page leaves shard src for shard dst.
+type pageMove struct {
+	page uint64
+	src  int
+	dst  int
+}
+
+// sortHeat flattens an epoch heat map into the deterministic selection
+// order — count descending, page ascending — so page choice is a pure
+// function of the run so far, never of map iteration.
+func sortHeat(heat map[uint64]int64) []pageHeat {
+	hot := make([]pageHeat, 0, len(heat))
+	for page, n := range heat {
+		hot = append(hot, pageHeat{page, n})
 	}
-	for src := range m.servers {
-		churn := m.servers[src].Promotions() - m.promoted[src]
-		if churn < int64(m.servers[src].DRAMFrames()) || len(m.heat[src]) == 0 {
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].n != hot[j].n {
+			return hot[i].n > hot[j].n
+		}
+		return hot[i].page < hot[j].page
+	})
+	return hot
+}
+
+// planRebalance computes one epoch's migrations: every saturated shard
+// (promotion churn at or above its DRAM frame budget) hands its hottest
+// pages to the least-loaded shard. It is a pure function of its inputs —
+// heat[i] already in sortHeat order — shared verbatim by the sequential
+// migrator and the parallel coordinator LP, so the two engines cannot drift.
+func planRebalance(heat [][]pageHeat, admitted, churn []int64, frames []int, maxPages int) []pageMove {
+	var moves []pageMove
+	for src := range heat {
+		if churn[src] < int64(frames[src]) || len(heat[src]) == 0 {
 			continue
 		}
 		dst := -1
-		for cand := range m.servers {
+		for cand := range heat {
 			if cand == src {
 				continue
 			}
-			if dst < 0 || m.admitted[cand] < m.admitted[dst] {
+			if dst < 0 || admitted[cand] < admitted[dst] {
 				dst = cand
 			}
 		}
-		if dst < 0 || m.admitted[dst] >= m.admitted[src] {
+		if dst < 0 || admitted[dst] >= admitted[src] {
 			continue // nowhere meaningfully cooler to move to
 		}
-		hot := make([]pageHeat, 0, len(m.heat[src]))
-		for page, n := range m.heat[src] {
-			hot = append(hot, pageHeat{page, n})
-		}
-		sort.Slice(hot, func(i, j int) bool {
-			if hot[i].n != hot[j].n {
-				return hot[i].n > hot[j].n
-			}
-			return hot[i].page < hot[j].page
-		})
-		if len(hot) > m.pages {
-			hot = hot[:m.pages]
+		hot := heat[src]
+		if len(hot) > maxPages {
+			hot = hot[:maxPages]
 		}
 		for _, ph := range hot {
-			m.override[ph.page] = dst
-			m.servers[src].Occupy(at, m.lat)
-			m.servers[dst].Occupy(at, m.lat)
-			*migrations++
+			moves = append(moves, pageMove{ph.page, src, dst})
 		}
+	}
+	return moves
+}
+
+// rebalance runs one epoch boundary: plan the moves, apply them (ownership
+// override plus a copy-cost Occupy on both devices per page), and reset the
+// epoch accounting.
+func (m *migrator) rebalance(at sim.Time, migrations *int64) {
+	heat := make([][]pageHeat, len(m.servers))
+	churn := make([]int64, len(m.servers))
+	frames := make([]int, len(m.servers))
+	for i := range m.servers {
+		heat[i] = sortHeat(m.heat[i])
+		churn[i] = m.servers[i].Promotions() - m.promoted[i]
+		frames[i] = m.servers[i].DRAMFrames()
+	}
+	for _, mv := range planRebalance(heat, m.admitted, churn, frames, m.pages) {
+		m.override[mv.page] = mv.dst
+		m.servers[mv.src].Occupy(at, m.lat)
+		m.servers[mv.dst].Occupy(at, m.lat)
+		*migrations++
 	}
 	for i := range m.servers {
 		m.heat[i] = make(map[uint64]int64)

@@ -1,0 +1,417 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"flatflash/internal/core"
+	"flatflash/internal/mtsim"
+	"flatflash/internal/psim"
+	"flatflash/internal/sim"
+	"flatflash/internal/workload"
+)
+
+// Parallel fleet execution: the sequential event loop in fleet.go, re-cut as
+// psim logical processes. Every shard's server becomes one LP; the front end
+// (arrival routing plus the migrator's epoch bookkeeping) becomes a
+// coordinator LP. All cross-shard interaction flows through timestamped
+// messages:
+//
+//	coordinator -> shard: msgArrival  (a routed request, at its arrival time)
+//	coordinator -> shard: msgEpoch    (end-of-window marker at a boundary)
+//	shard -> coordinator: msgHeat     (the epoch's heat report, at the boundary)
+//	coordinator -> shard: msgMigrate  (one page-copy Occupy charge, at the boundary)
+//
+// Determinism falls out of three facts. Arrivals are a pure function of the
+// config (workload.ArrivalGen's contract), so the coordinator's routing
+// decisions — including migration overrides — replay the sequential loop's
+// decisions exactly. Page selection at a boundary goes through the same
+// sortHeat/planRebalance code the sequential migrator uses. And psim's
+// (time, actor, sequence) merge order fixes every shard's execution order:
+// migrate charges at a boundary sort before arrivals at or after it, exactly
+// where the sequential loop puts them (rebalance fires before the arrival
+// that crosses the boundary).
+//
+// The marker protocol is what keeps the conservative engine honest around
+// boundaries: a shard reports an epoch's heat only when it has seen the
+// coordinator's end-of-window marker, which the coordinator emits only after
+// routing every arrival before that boundary. A shard therefore never reports
+// early no matter how large the lookahead window is relative to the epoch.
+
+const (
+	msgArrival = iota + 1
+	msgEpoch
+	msgHeat
+	msgMigrate
+)
+
+// Arrival messages avoid boxing the AccessOp into Message.Payload — at one
+// heap object per routed request, the resulting garbage was the parallel
+// engine's biggest cost. Page carries Off and N packs (Len, Write, Barrier);
+// the shard recomputes the page number from its device's page size.
+func packOp(op workload.AccessOp) int64 {
+	n := int64(op.Len) << 2
+	if op.Write {
+		n |= 2
+	}
+	if op.Barrier {
+		n |= 1
+	}
+	return n
+}
+
+func unpackOp(m psim.Message) workload.AccessOp {
+	return workload.AccessOp{
+		Off:     m.Page,
+		Len:     int(m.N >> 2),
+		Write:   m.N&2 != 0,
+		Barrier: m.N&1 != 0,
+	}
+}
+
+// heatReport is one shard's epoch accounting, sent to the coordinator at a
+// boundary: the heat map in sortHeat order plus the counters the rebalance
+// plan needs.
+type heatReport struct {
+	hot        []pageHeat
+	admitted   int64
+	promotions int64
+}
+
+// shardLP wraps one shard's server as a logical process. Its queue is the
+// inbox: arrivals and migrate charges execute against the server in merge
+// order, and epoch markers trigger the heat report.
+type shardLP struct {
+	id       int
+	coord    int // coordinator's LP index
+	srv      *mtsim.Server
+	pageSize uint64
+
+	pending []psim.Message
+	cursor  int
+
+	// Migration accounting (heat == nil when migration is disabled).
+	heat     map[uint64]int64
+	admitted int64
+
+	// Heat-send schedule, for NextSend: nextHeat is the first boundary not
+	// yet reported, lastEpoch the last boundary the run will ever cross.
+	epoch     sim.Duration
+	nextHeat  sim.Time
+	lastEpoch sim.Time
+}
+
+// NextSend promises the shard's only future sends: heat reports, emitted at
+// exactly the epoch boundaries still ahead of it.
+func (s *shardLP) NextSend() (sim.Time, bool) {
+	if s.heat == nil || s.nextHeat > s.lastEpoch {
+		return 0, false
+	}
+	return s.nextHeat, true
+}
+
+// Done reports whether the inbox is drained.
+func (s *shardLP) Done() bool { return s.cursor == len(s.pending) }
+
+// Run executes every queued message below the horizon against the server.
+//
+//flatflash:lp
+func (s *shardLP) Run(horizon sim.Time, out []psim.Message) ([]psim.Message, int, error) {
+	n := 0
+	for s.cursor < len(s.pending) {
+		m := s.pending[s.cursor]
+		if m.At >= horizon {
+			break
+		}
+		s.cursor++
+		n++
+		switch m.Kind {
+		case msgArrival:
+			admitted, err := s.srv.Arrive(m.At, unpackOp(m))
+			if err != nil {
+				return out, n, fmt.Errorf("shard %d arrival at %d: %w", s.id, m.At, err)
+			}
+			if s.heat != nil && admitted {
+				s.heat[m.Page/s.pageSize]++
+				s.admitted++
+			}
+		case msgEpoch:
+			out = append(out, psim.Message{
+				At:   m.At,
+				Dst:  s.coord,
+				Kind: msgHeat,
+				Payload: &heatReport{
+					hot:        sortHeat(s.heat),
+					admitted:   s.admitted,
+					promotions: s.srv.Promotions(),
+				},
+			})
+			s.heat = make(map[uint64]int64)
+			s.admitted = 0
+			s.nextHeat = m.At.Add(s.epoch)
+		case msgMigrate:
+			s.srv.Occupy(m.At, sim.Duration(m.N))
+		}
+	}
+	return out, n, nil
+}
+
+// Recv appends the round's inbox. Pending messages are kept in merge order:
+// the coordinator (the shard's only sender) emits with non-decreasing
+// timestamps, so the append fast path almost always holds; a sort covers the
+// general case for safety.
+func (s *shardLP) Recv(msgs []psim.Message) error {
+	if s.cursor > 0 {
+		s.pending = s.pending[:copy(s.pending, s.pending[s.cursor:])]
+		s.cursor = 0
+	}
+	n := len(s.pending)
+	s.pending = append(s.pending, msgs...)
+	if n > 0 && s.pending[n].Before(s.pending[n-1]) {
+		p := s.pending
+		sort.Slice(p, func(a, b int) bool { return p[a].Before(p[b]) })
+	}
+	return nil
+}
+
+// coordLP is the fleet front end as a logical process: it owns the
+// pre-generated arrival sequence, the ring, and the migrator's decision
+// state, and it routes window-by-window between epoch boundaries.
+type coordLP struct {
+	arrivals []workload.Arrival
+	next     int
+	ring     *Ring
+	pageSize uint64
+	shards   int
+	routed   []int64
+
+	// Migration state (mirrors migrator; enabled == false leaves it unused).
+	enabled    bool
+	epoch      sim.Duration
+	nextEpoch  sim.Time
+	lastEpoch  sim.Time
+	override   map[uint64]int
+	promoted   []int64
+	frames     []int
+	pages      int
+	lat        sim.Duration
+	migrations int64
+
+	// Boundary hand-shake: awaiting is set between the end-of-window marker
+	// and the last heat report for the boundary.
+	awaiting bool
+	heats    []*heatReport
+	heatGot  int
+}
+
+// NextSend promises the coordinator's future sends: the next unrouted
+// arrival, or the pending boundary's migrate charges and markers.
+func (c *coordLP) NextSend() (sim.Time, bool) {
+	bound := sim.Time(0)
+	ok := false
+	if c.next < len(c.arrivals) {
+		bound = c.arrivals[c.next].At
+		ok = true
+	}
+	if c.enabled && c.nextEpoch <= c.lastEpoch {
+		if !ok || c.nextEpoch < bound {
+			bound = c.nextEpoch
+		}
+		ok = true
+	}
+	return bound, ok
+}
+
+// Done reports whether every arrival was routed and every boundary crossed.
+func (c *coordLP) Done() bool {
+	return c.next == len(c.arrivals) && (!c.enabled || c.nextEpoch > c.lastEpoch) && !c.awaiting
+}
+
+// Run routes arrival windows and runs epoch boundaries. Routing ignores the
+// horizon on purpose: emitting a future-timestamped message early is always
+// safe (receivers hold it until their own window reaches it), and it is what
+// lets shards run a whole epoch's worth of arrivals per barrier round.
+//
+//flatflash:lp
+func (c *coordLP) Run(horizon sim.Time, out []psim.Message) ([]psim.Message, int, error) {
+	n := 0
+	for {
+		if !c.enabled || c.nextEpoch > c.lastEpoch {
+			// No boundary ahead: route everything that remains.
+			routed := c.route(psim.NoHorizon, &out)
+			return out, n + routed, nil
+		}
+		if !c.awaiting {
+			// Route the window up to the boundary, then close it with
+			// markers. The rebalance cannot run until every shard reports.
+			n += c.route(c.nextEpoch, &out)
+			for sh := 0; sh < c.shards; sh++ {
+				out = append(out, psim.Message{At: c.nextEpoch, Dst: sh, Kind: msgEpoch})
+			}
+			c.awaiting = true
+			n++
+			return out, n, nil
+		}
+		if c.heatGot < c.shards {
+			// Guarded event: the boundary waits for the missing reports.
+			return out, n, nil
+		}
+		c.rebalance(&out)
+		n++
+	}
+}
+
+// route emits arrivals with At < limit, in order, and returns the count.
+func (c *coordLP) route(limit sim.Time, out *[]psim.Message) int {
+	// Arrivals are time-sorted, so the window size is known up front; one
+	// exact grow replaces append's doubling series (each doubling of a
+	// multi-megabyte message buffer is a large alloc the runtime must zero).
+	rest := c.arrivals[c.next:]
+	need := len(rest)
+	if limit != psim.NoHorizon {
+		need = sort.Search(len(rest), func(i int) bool { return rest[i].At >= limit })
+	}
+	if free := cap(*out) - len(*out); free < need {
+		grown := make([]psim.Message, len(*out), len(*out)+need+c.shards)
+		copy(grown, *out)
+		*out = grown
+	}
+	n := 0
+	for c.next < len(c.arrivals) {
+		a := c.arrivals[c.next]
+		if a.At >= limit {
+			break
+		}
+		c.next++
+		n++
+		page := a.Op.Off / c.pageSize
+		sh := -1
+		if c.enabled {
+			if o, ok := c.override[page]; ok {
+				sh = o
+			}
+		}
+		if sh < 0 {
+			sh = c.ring.Lookup(page)
+		}
+		c.routed[sh]++
+		*out = append(*out, psim.Message{At: a.At, Dst: sh, Kind: msgArrival, Page: a.Op.Off, N: packOp(a.Op)})
+	}
+	return n
+}
+
+// rebalance runs one boundary with every shard's report in hand: the same
+// planRebalance the sequential migrator uses, with the Occupy charges
+// emitted as migrate messages in plan order.
+func (c *coordLP) rebalance(out *[]psim.Message) {
+	heat := make([][]pageHeat, c.shards)
+	admitted := make([]int64, c.shards)
+	churn := make([]int64, c.shards)
+	for i, h := range c.heats {
+		heat[i] = h.hot
+		admitted[i] = h.admitted
+		churn[i] = h.promotions - c.promoted[i]
+	}
+	for _, mv := range planRebalance(heat, admitted, churn, c.frames, c.pages) {
+		c.override[mv.page] = mv.dst
+		*out = append(*out, psim.Message{At: c.nextEpoch, Dst: mv.src, Kind: msgMigrate, N: int64(c.lat)})
+		*out = append(*out, psim.Message{At: c.nextEpoch, Dst: mv.dst, Kind: msgMigrate, N: int64(c.lat)})
+		c.migrations++
+	}
+	for i, h := range c.heats {
+		c.promoted[i] = h.promotions
+		c.heats[i] = nil
+	}
+	c.heatGot = 0
+	c.awaiting = false
+	c.nextEpoch = c.nextEpoch.Add(c.epoch)
+}
+
+// Recv collects heat reports for the pending boundary.
+func (c *coordLP) Recv(msgs []psim.Message) error {
+	for _, m := range msgs {
+		if m.Kind != msgHeat {
+			return fmt.Errorf("coordinator got message kind %d", m.Kind)
+		}
+		if c.heats[m.Src] != nil {
+			return fmt.Errorf("coordinator got duplicate heat report from shard %d", m.Src)
+		}
+		c.heats[m.Src] = m.Payload.(*heatReport)
+		c.heatGot++
+	}
+	return nil
+}
+
+// runParallel executes the fleet on the psim engine: cfg.Parallel workers
+// over Shards+1 LPs, lookahead from the device's PCIe link floor. The
+// returned routed counts and *migrations match runSequential byte for byte.
+func runParallel(cfg Config, gen *workload.ArrivalGen, ring *Ring, servers []*mtsim.Server, dev core.Config, migrations *int64) ([]int64, error) {
+	// The arrival sequence is a pure function of the config; materializing
+	// it up front costs one slice and buys the coordinator random access to
+	// window boundaries.
+	arrivals := make([]workload.Arrival, 0, gen.Remaining())
+	for {
+		a, ok := gen.Next()
+		if !ok {
+			break
+		}
+		arrivals = append(arrivals, a)
+	}
+	var maxAt sim.Time
+	if len(arrivals) > 0 {
+		maxAt = arrivals[len(arrivals)-1].At
+	}
+
+	coord := &coordLP{
+		arrivals: arrivals,
+		ring:     ring,
+		pageSize: uint64(dev.PageSize),
+		shards:   cfg.Shards,
+		routed:   make([]int64, cfg.Shards),
+	}
+	// lastEpoch is the last boundary the sequential loop would cross: the
+	// migrator fires a boundary E only when some arrival has At >= E.
+	var lastEpoch sim.Time
+	if cfg.MigrateEpoch > 0 && cfg.Shards >= 2 && maxAt >= sim.Time(0).Add(cfg.MigrateEpoch) {
+		coord.enabled = true
+		coord.epoch = cfg.MigrateEpoch
+		coord.nextEpoch = sim.Time(0).Add(cfg.MigrateEpoch)
+		lastEpoch = sim.Time((int64(maxAt) / int64(cfg.MigrateEpoch)) * int64(cfg.MigrateEpoch))
+		coord.lastEpoch = lastEpoch
+		coord.override = make(map[uint64]int)
+		coord.promoted = make([]int64, cfg.Shards)
+		coord.frames = make([]int, cfg.Shards)
+		for i, s := range servers {
+			coord.frames[i] = s.DRAMFrames()
+		}
+		coord.pages = cfg.MigratePages
+		if coord.pages == 0 {
+			coord.pages = 8
+		}
+		coord.lat = cfg.MigrateLat
+		if coord.lat == 0 {
+			coord.lat = 20 * sim.Microsecond
+		}
+		coord.heats = make([]*heatReport, cfg.Shards)
+	}
+
+	lps := make([]psim.LP, cfg.Shards+1)
+	for i, s := range servers {
+		lp := &shardLP{id: i, coord: cfg.Shards, srv: s, pageSize: uint64(dev.PageSize)}
+		if coord.enabled {
+			lp.heat = make(map[uint64]int64)
+			lp.epoch = cfg.MigrateEpoch
+			lp.nextHeat = sim.Time(0).Add(cfg.MigrateEpoch)
+			lp.lastEpoch = lastEpoch
+		}
+		lps[i] = lp
+	}
+	lps[cfg.Shards] = coord
+
+	eng := &psim.Engine{LPs: lps, Lookahead: psim.Lookahead(dev.PCIe), Workers: cfg.Parallel}
+	if err := eng.Run(); err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	*migrations += coord.migrations
+	return coord.routed, nil
+}

@@ -43,6 +43,12 @@ type SweepConfig struct {
 	// flight recorder in Server forces sequential execution: it is a
 	// single-writer sink.
 	Workers int
+
+	// Parallel, when >= 2, runs each point's shards as psim logical
+	// processes on that many workers (see Config.Parallel). It composes
+	// with Workers: Workers spreads points, Parallel spreads the shards
+	// inside a point — reports stay byte-identical either way.
+	Parallel int
 }
 
 // Validate checks the sweep grid.
@@ -92,6 +98,7 @@ func (c SweepConfig) pointConfig(shards int, rate float64, seed uint64) Config {
 		MigrateEpoch: c.MigrateEpoch,
 		MigratePages: c.MigratePages,
 		MigrateLat:   c.MigrateLat,
+		Parallel:     c.Parallel,
 	}
 }
 

@@ -33,6 +33,12 @@ type Graph struct {
 	V       int
 	E       int
 	offsets []int32 // CSR: edges of v are [offsets[v], offsets[v+1])
+
+	// scratch backs every single-slot Read/Write. A stack array would
+	// escape through the Hierarchy interface and cost one heap allocation
+	// per vertex access — the dominant allocation in the analytics runs.
+	// Graph methods are single-threaded, so one buffer suffices.
+	scratch [8]byte
 }
 
 const vertexSlot = 8 // one float64/uint64 per vertex
@@ -74,7 +80,6 @@ func Generate(h core.Hierarchy, v, avgDegree int, seed uint64) (*Graph, error) {
 	}
 	g := &Graph{h: h, region: region, V: v, E: e, offsets: offsets}
 	// Write the edge array through the hierarchy (bulk sequential load).
-	var buf [4]byte
 	idx := 0
 	for i := 0; i < v; i++ {
 		offsets[i] = int32(idx)
@@ -83,8 +88,8 @@ func Generate(h core.Hierarchy, v, avgDegree int, seed uint64) (*Graph, error) {
 			if t == uint32(i) {
 				t = uint32((i + 1) % v) // no self loops
 			}
-			binary.LittleEndian.PutUint32(buf[:], t)
-			if _, err := h.Write(g.edgeAddr(idx), buf[:]); err != nil {
+			binary.LittleEndian.PutUint32(g.scratch[:4], t)
+			if _, err := h.Write(g.edgeAddr(idx), g.scratch[:4]); err != nil {
 				return nil, err
 			}
 			idx++
@@ -102,17 +107,15 @@ type Result struct {
 }
 
 func (g *Graph) readU64(addr uint64) (uint64, error) {
-	var b [8]byte
-	if _, err := g.h.Read(addr, b[:]); err != nil {
+	if _, err := g.h.Read(addr, g.scratch[:]); err != nil {
 		return 0, err
 	}
-	return binary.LittleEndian.Uint64(b[:]), nil
+	return binary.LittleEndian.Uint64(g.scratch[:]), nil
 }
 
 func (g *Graph) writeU64(addr uint64, v uint64) error {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], v)
-	_, err := g.h.Write(addr, b[:])
+	binary.LittleEndian.PutUint64(g.scratch[:], v)
+	_, err := g.h.Write(addr, g.scratch[:])
 	return err
 }
 
@@ -282,12 +285,11 @@ func (g *Graph) Labels() ([]uint64, error) {
 func (g *Graph) Edges(v int) ([]uint32, error) {
 	lo, hi := int(g.offsets[v]), int(g.offsets[v+1])
 	out := make([]uint32, 0, hi-lo)
-	var b [4]byte
 	for i := lo; i < hi; i++ {
-		if _, err := g.h.Read(g.edgeAddr(i), b[:]); err != nil {
+		if _, err := g.h.Read(g.edgeAddr(i), g.scratch[:4]); err != nil {
 			return nil, err
 		}
-		out = append(out, binary.LittleEndian.Uint32(b[:]))
+		out = append(out, binary.LittleEndian.Uint32(g.scratch[:4]))
 	}
 	return out, nil
 }

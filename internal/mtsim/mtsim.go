@@ -26,6 +26,7 @@ import (
 
 	"flatflash/internal/core"
 	"flatflash/internal/promote"
+	"flatflash/internal/psim"
 	"flatflash/internal/sim"
 	"flatflash/internal/stats"
 	"flatflash/internal/telemetry"
@@ -93,6 +94,12 @@ type Config struct {
 	// (chained ahead of Probe when both are set); anomaly triggers dump the
 	// pre-anomaly span window. May be nil.
 	Flight *telemetry.FlightRecorder
+
+	// Parallel, when >= 2, executes the N solo golden runs and the shared
+	// run as N+1 independent psim logical processes on that many workers.
+	// The runs share no virtual-time state — each owns a private device —
+	// so the reports stay byte-identical to the sequential order.
+	Parallel int
 }
 
 // Validate checks the configuration.
@@ -207,7 +214,10 @@ func soloRun(dev core.Config, spec TenantSpec, seed uint64) (*stats.Histogram, s
 
 // Run executes the consolidation: one solo golden run per tenant, then the
 // shared run with all tenants interleaved on one device in global
-// virtual-time order.
+// virtual-time order. With cfg.Parallel >= 2 the N+1 runs — each a private
+// device with its own virtual clock — execute as psim logical processes
+// instead of in sequence; every run's bytes are unchanged, only the
+// wall-clock order is.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -220,19 +230,67 @@ func Run(cfg Config) (*Result, error) {
 		Tenants:   make([]TenantResult, len(cfg.Tenants)),
 	}
 
-	// Solo golden runs: same workload, same seed, private idle device.
-	for i, spec := range cfg.Tenants {
-		hist, elapsed, err := soloRun(dev, spec, streamSeed(cfg.Seed, spec.Seed, i))
-		if err != nil {
-			return nil, fmt.Errorf("mtsim: solo run of tenant %d: %w", i, err)
+	if cfg.Parallel >= 2 {
+		lps := make([]psim.LP, 0, len(cfg.Tenants)+1)
+		for i, spec := range cfg.Tenants {
+			lps = append(lps, &psim.TaskLP{F: func() error {
+				return soloInto(res, dev, spec, cfg.Seed, i)
+			}})
 		}
-		res.Tenants[i] = TenantResult{ID: i, Spec: spec, Solo: hist, SoloElapsed: elapsed}
+		lps = append(lps, &psim.TaskLP{F: func() error {
+			return sharedRun(cfg, dev, res)
+		}})
+		eng := &psim.Engine{LPs: lps, Lookahead: psim.Lookahead(dev.PCIe), Workers: cfg.Parallel}
+		if err := eng.Run(); err != nil {
+			return nil, err
+		}
+		// Fairness folds the solo baselines into the shared latencies, so it
+		// must wait for every LP — it is the one cross-run reduction.
+		res.Fairness = stats.JainFairness(progress(res.Tenants))
+		return res, nil
 	}
 
-	// Shared run: one device, every tenant an actor on it.
+	// Solo golden runs: same workload, same seed, private idle device.
+	for i, spec := range cfg.Tenants {
+		if err := soloInto(res, dev, spec, cfg.Seed, i); err != nil {
+			return nil, err
+		}
+	}
+	if err := sharedRun(cfg, dev, res); err != nil {
+		return nil, err
+	}
+	res.Fairness = stats.JainFairness(progress(res.Tenants))
+	return res, nil
+}
+
+// soloInto runs tenant i's solo golden run and stores the baseline. It runs
+// as a psim LP in parallel mode, so it must stay confined to its arguments
+// and its disjoint slice of res.
+//
+//flatflash:lp
+func soloInto(res *Result, dev core.Config, spec TenantSpec, seed uint64, i int) error {
+	hist, elapsed, err := soloRun(dev, spec, streamSeed(seed, spec.Seed, i))
+	if err != nil {
+		return fmt.Errorf("mtsim: solo run of tenant %d: %w", i, err)
+	}
+	// Touch only the solo fields: in parallel mode the shared run fills the
+	// other half of this element concurrently, so a whole-struct assignment
+	// here would race with (and could clobber) its writes.
+	tr := &res.Tenants[i]
+	tr.ID, tr.Spec = i, spec
+	tr.Solo, tr.SoloElapsed = hist, elapsed
+	return nil
+}
+
+// sharedRun executes the shared portion of the consolidation — one device,
+// every tenant an actor on it — and fills the shared fields of res. It runs
+// as a psim LP in parallel mode, concurrent with the solo runs.
+//
+//flatflash:lp
+func sharedRun(cfg Config, dev core.Config, res *Result) error {
 	ff, err := core.NewFlatFlash(dev)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	probe := cfg.Probe
 	if cfg.Flight != nil {
@@ -253,7 +311,7 @@ func Run(cfg Config) (*Result, error) {
 	for i := 1; i < len(cfg.Tenants); i++ {
 		t, err := ff.OpenTenant()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		actors[i] = t
 	}
@@ -267,7 +325,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		arb, err := promote.NewArbiter(acfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ff.SetArbiter(arb)
 	}
@@ -277,12 +335,12 @@ func Run(cfg Config) (*Result, error) {
 	for i, spec := range cfg.Tenants {
 		reg, err := mapRegion(actors[i], spec)
 		if err != nil {
-			return nil, fmt.Errorf("mtsim: tenant %d mmap: %w", i, err)
+			return fmt.Errorf("mtsim: tenant %d mmap: %w", i, err)
 		}
 		regions[i] = reg
 		streams[i], err = workload.NewStream(spec.Mix, sim.NewRNG(streamSeed(cfg.Seed, spec.Seed, i)), spec.RegionBytes)
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
 
@@ -304,7 +362,7 @@ func Run(cfg Config) (*Result, error) {
 		t := actors[id]
 		lat, err := runOp(t, regions[id].Base, streams[id].Next(), scratch)
 		if err != nil {
-			return nil, fmt.Errorf("mtsim: tenant %d op: %w", id, err)
+			return fmt.Errorf("mtsim: tenant %d op: %w", id, err)
 		}
 		hists[id].Record(lat)
 		remaining[id]--
@@ -329,8 +387,7 @@ func Run(cfg Config) (*Result, error) {
 	ff.Attribution().Finish(ff.Now())
 	res.Makespan = ff.Now().Sub(0)
 	res.Counters = ff.Counters()
-	res.Fairness = stats.JainFairness(progress(res.Tenants))
-	return res, nil
+	return nil
 }
 
 // progress returns each tenant's normalized progress: solo mean latency over

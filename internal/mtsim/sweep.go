@@ -53,6 +53,12 @@ type SweepConfig struct {
 	// run; it is a single-writer sink, so setting it forces sequential
 	// execution like Probe and Registry do.
 	Flight *telemetry.FlightRecorder
+
+	// Parallel, when >= 2, runs each point's solo and shared runs as psim
+	// logical processes on that many workers (see Config.Parallel). It
+	// composes with Workers: Workers spreads points, Parallel spreads the
+	// runs inside a point — reports stay byte-identical either way.
+	Parallel int
 }
 
 // Validate checks the sweep grid.
@@ -112,6 +118,7 @@ func (c SweepConfig) pointConfig(tenants int, mixSpec string, seed uint64) Confi
 		Attrib:         c.Attrib,
 		SLO:            c.SLO,
 		Flight:         c.Flight,
+		Parallel:       c.Parallel,
 	}
 }
 

@@ -23,6 +23,7 @@ const (
 	SLOHelp        = "per-op latency SLO; enables violation/burn counters and p99-over-SLO anomaly triggers (0 disables)"
 	ShedWaitHelp   = "open-loop admission control: shed an arrival whose estimated queue wait exceeds this (0 defaults to half the SLO)"
 	MapCacheHelp   = "demand-page the FTL's translation map, keeping this many translation pages resident (0 keeps the whole map in memory)"
+	ParallelHelp   = "run multi-shard/multi-tenant simulations on the conservative parallel engine with this many workers; reports stay byte-identical (0 keeps the sequential event loop)"
 )
 
 // Flags holds the parsed observability flag values.
@@ -32,6 +33,7 @@ type Flags struct {
 	SLO        *time.Duration
 	ShedWait   *time.Duration
 	MapCache   *int
+	Parallel   *int
 }
 
 // Register installs the shared observability flags on fs.
@@ -42,6 +44,7 @@ func Register(fs *flag.FlagSet) *Flags {
 		SLO:        fs.Duration("slo", 0, SLOHelp),
 		ShedWait:   fs.Duration("shed-wait", 0, ShedWaitHelp),
 		MapCache:   fs.Int("map-cache", 0, MapCacheHelp),
+		Parallel:   fs.Int("parallel", 0, ParallelHelp),
 	}
 }
 

@@ -106,6 +106,12 @@ type PLB struct {
 	pending      int
 	nextDeadline sim.Time
 
+	// scratch backs the slices Expired and Flush return. Both callers
+	// consume the completions before touching the PLB again, so one
+	// buffer (capacity bounded by the entry count) serves every poll
+	// without a per-batch allocation.
+	scratch []Completion
+
 	started, completed, droppedInbound, redirectedStores int64
 	lookups, routed                                      int64
 	aborted                                              int64
@@ -341,11 +347,12 @@ func (p *PLB) retarget() {
 // lines are copied into the frame, the entry is freed for reuse, and a
 // Completion is returned so the caller can update the PTE and TLB. While no
 // deadline has been reached it returns nil without scanning the entries.
+// The returned slice is valid until the next Expired or Flush call.
 func (p *PLB) Expired(now sim.Time) []Completion {
 	if p.pending == 0 || p.nextDeadline.After(now) {
 		return nil
 	}
-	var out []Completion
+	out := p.scratch[:0]
 	for i := range p.entries {
 		e := &p.entries[i]
 		if !e.valid || e.deadline.After(now) {
@@ -360,13 +367,15 @@ func (p *PLB) Expired(now sim.Time) []Completion {
 		p.completed++
 	}
 	p.retarget()
+	p.scratch = out
 	return out
 }
 
 // Flush forces all in-flight promotions to complete immediately (used when
-// the hierarchy must quiesce, e.g. before a crash snapshot in tests).
+// the hierarchy must quiesce, e.g. before a crash snapshot in tests). The
+// returned slice is valid until the next Expired or Flush call.
 func (p *PLB) Flush(now sim.Time) []Completion {
-	var out []Completion
+	out := p.scratch[:0]
 	for i := range p.entries {
 		e := &p.entries[i]
 		if !e.valid {
@@ -380,6 +389,7 @@ func (p *PLB) Flush(now sim.Time) []Completion {
 		p.clearEntry(e)
 		p.completed++
 	}
+	p.scratch = out
 	return out
 }
 

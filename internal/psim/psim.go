@@ -1,0 +1,352 @@
+// Package psim is a conservative parallel discrete-event simulation engine:
+// the single min-heap event loop the simulator grew up with, split into
+// logical processes (LPs) that each own a private event queue and local
+// virtual clock and execute concurrently between virtual-time barriers.
+//
+// The engine follows the classic Chandy–Misra–Bryant conservative recipe.
+// Every LP promises, through NextSend, a lower bound on the virtual
+// timestamp of any message it may still emit; the engine's safe horizon for
+// a round is the minimum such promise across all LPs plus the lookahead —
+// the minimum cross-LP event delay, derived from the PCIe link's latency
+// floor (psim.Lookahead). Within a round every LP may execute all local
+// events with timestamps strictly below the horizon, so no rollback
+// machinery is needed. The engine guarantees that every message timestamped
+// below horizon-lookahead has already been delivered; for the slack band
+// [horizon-lookahead, horizon) it guarantees per-source FIFO delivery, so an
+// adapter whose events in that band are triggered by a single in-order
+// sender (the fleet's arrival stream), emitted at least one lookahead after
+// the sender's promise (the stress test's ring), or explicitly guarded on
+// their inputs being present (the fleet's epoch rebalance) is race-free by
+// construction.
+//
+// Determinism is the point, not an afterthought: reports must stay
+// byte-identical to the sequential engine whatever GOMAXPROCS or the worker
+// count is. Three rules deliver that:
+//
+//  1. An LP's Run sees only its own state, the horizon, and its inbox —
+//     never another LP's state off-barrier (the sharedstate lint enforces
+//     this for //flatflash:lp functions).
+//  2. Messages are stamped (At, Src, Seq) — virtual time, source LP index,
+//     per-source emission order — and merged in exactly that order at the
+//     barrier, so inboxes are a pure function of the configuration.
+//  3. Results are read back in LP-index order after the engine drains.
+//
+// A configuration that degenerates to one LP (a single open-loop device, a
+// 1-shard fleet) simply runs its whole event queue in one round on one
+// goroutine — the sequential loop, unchanged.
+package psim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"flatflash/internal/pcie"
+	"flatflash/internal/sim"
+)
+
+// A Message is one timestamped cross-LP interaction: a routed arrival, a
+// migration directive, a heat report. At is the virtual receive time, Src
+// the emitting LP's index, and Seq the per-source emission sequence number
+// (stamped by the engine); together they define the deterministic merge
+// order (time, then actor, then sequence). Kind and the payload fields are
+// adapter-defined.
+type Message struct {
+	At  sim.Time
+	Src int
+	Dst int
+	Seq int64
+
+	// Kind discriminates adapter message types; Page and N carry small
+	// scalar payloads, Payload anything larger.
+	Kind    int
+	Page    uint64
+	N       int64
+	Payload any
+}
+
+// Before is the deterministic merge order: time, then source LP, then
+// per-source sequence.
+func (m Message) Before(o Message) bool {
+	if m.At != o.At {
+		return m.At < o.At
+	}
+	if m.Src != o.Src {
+		return m.Src < o.Src
+	}
+	return m.Seq < o.Seq
+}
+
+// An LP is one logical process: a partition of the simulation that owns its
+// events, its state, and its slice of the virtual timeline.
+//
+// The engine calls Run and Recv from worker goroutines, but never
+// concurrently for the same LP, and always with a happens-before edge
+// between rounds — an LP needs no locking of its own state, and must not
+// reach into any other LP's (that is what messages are for).
+type LP interface {
+	// NextSend returns a lower bound on the virtual timestamp of any message
+	// this LP may still emit; ok=false is the strongest promise — it will
+	// never send again. The engine's round horizon is the minimum bound
+	// across LPs plus the lookahead, so a tight bound buys everyone larger
+	// windows.
+	NextSend() (bound sim.Time, ok bool)
+
+	// Done reports that the LP has no local events left to execute.
+	Done() bool
+
+	// Run executes every local event with virtual timestamp strictly below
+	// horizon, in local time order, appending any emitted messages to out
+	// (the engine stamps Src and Seq afterwards). It returns the extended
+	// slice and how many events it executed — the engine's progress signal.
+	// An LP that cannot yet execute an event below the horizon (a guarded
+	// event waiting on messages) simply leaves it queued; conservatively
+	// doing less is always safe.
+	Run(horizon sim.Time, out []Message) ([]Message, int, error)
+
+	// Recv delivers the LP's inbox for the next round, already in the
+	// deterministic (At, Src, Seq) merge order.
+	Recv(msgs []Message) error
+}
+
+// NoHorizon is the horizon an engine with no pending senders uses: every LP
+// may drain its whole queue.
+const NoHorizon = sim.Time(int64(^uint64(0) >> 1))
+
+// Lookahead derives the engine's lookahead from the PCIe link timing: the
+// minimum cross-LP event delay is the cheapest transaction that can carry
+// state between two partitions — the posted MMIO write's latency floor,
+// bounded by the other link primitives in case a configuration inverts
+// them. Any positive value is safe (smaller windows, same results); this is
+// the largest provably safe one available from the interconnect model.
+func Lookahead(cfg pcie.Config) sim.Duration {
+	min := cfg.MMIOWriteLatency
+	if cfg.MMIOReadLatency < min {
+		min = cfg.MMIOReadLatency
+	}
+	if cfg.DMAPageLatency < min {
+		min = cfg.DMAPageLatency
+	}
+	if min < sim.Duration(1) {
+		min = sim.Duration(1)
+	}
+	return min
+}
+
+// TaskLP wraps an opaque, message-free unit of simulation work — a whole
+// sequential run that shares no virtual-time state with any other LP (a solo
+// golden run, an independent sweep point). It promises to never send, so a
+// set of TaskLPs resolves to a single NoHorizon round in which every task
+// executes exactly once, in parallel.
+type TaskLP struct {
+	// F runs the task; it is called exactly once, from a worker goroutine.
+	F    func() error
+	done bool
+}
+
+// NextSend promises a TaskLP never sends messages.
+func (t *TaskLP) NextSend() (sim.Time, bool) { return 0, false }
+
+// Done reports whether the task ran.
+func (t *TaskLP) Done() bool { return t.done }
+
+// Run executes the task once.
+//
+//flatflash:lp
+func (t *TaskLP) Run(horizon sim.Time, out []Message) ([]Message, int, error) {
+	if t.done {
+		return out, 0, nil
+	}
+	t.done = true
+	return out, 1, t.F()
+}
+
+// Recv rejects deliveries: nothing should address a TaskLP.
+func (t *TaskLP) Recv(msgs []Message) error {
+	return fmt.Errorf("TaskLP cannot receive messages (got %d)", len(msgs))
+}
+
+// ErrStalled reports a deadlocked configuration: a round where no LP
+// executed an event, nothing was in flight, and at least one LP still had
+// work. A correct adapter never triggers it (its promises always let the
+// earliest event through); the check turns an engine bug into an error
+// instead of a spin.
+var ErrStalled = errors.New("psim: engine stalled (no LP can make progress)")
+
+// Engine runs a set of LPs to completion.
+type Engine struct {
+	// LPs are the logical processes, addressed by slice index.
+	LPs []LP
+	// Lookahead is the minimum cross-LP event delay (see Lookahead). Values
+	// below 1ns are clamped to 1ns so the horizon always clears the bound.
+	Lookahead sim.Duration
+	// Workers bounds the worker pool; <=1 executes LPs sequentially in
+	// index order on the calling goroutine (the results are identical by
+	// construction — workers only change wall-clock time).
+	Workers int
+}
+
+// Run drives barrier rounds until every LP is done and no messages are in
+// flight. It returns the first error in LP-index order, so failures are as
+// deterministic as results.
+func (e *Engine) Run() error {
+	n := len(e.LPs)
+	if n == 0 {
+		return nil
+	}
+	workers := e.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	la := e.Lookahead
+	if la < 1 {
+		la = 1
+	}
+
+	outs := make([][]Message, n)    // per-LP emission buffers, reused across rounds
+	counts := make([]int, n)        // per-LP events executed this round
+	errs := make([]error, n)        // per-LP errors this round
+	seqs := make([]int64, n)        // per-LP emission sequence counters
+	inboxes := make([][]Message, n) // per-LP next-round inboxes, reused
+	cursors := make([]int, n)       // per-LP merge cursors, reused
+	var merged []Message            // fallback merge buffer, reused
+
+	for {
+		// Safe horizon: the earliest timestamp any LP may still send, plus
+		// the lookahead. Events strictly below it cannot be invalidated by
+		// a message that has not been delivered yet.
+		horizon := NoHorizon
+		for _, lp := range e.LPs {
+			if bound, ok := lp.NextSend(); ok {
+				if h := bound.Add(la); h < horizon {
+					horizon = h
+				}
+			}
+		}
+
+		// Parallel phase: every LP executes its window. Worker goroutines
+		// pull LP indices from a channel; each LP's state is touched by
+		// exactly one goroutine, and the WaitGroup is the barrier.
+		if workers == 1 {
+			for i, lp := range e.LPs {
+				outs[i], counts[i], errs[i] = lp.Run(horizon, outs[i][:0])
+			}
+		} else {
+			jobs := make(chan int)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := range jobs {
+						outs[i], counts[i], errs[i] = e.LPs[i].Run(horizon, outs[i][:0])
+					}
+				}()
+			}
+			for i := range e.LPs {
+				jobs <- i
+			}
+			close(jobs)
+			wg.Wait()
+		}
+		for i, err := range errs {
+			if err != nil {
+				return fmt.Errorf("psim: LP %d: %w", i, err)
+			}
+		}
+
+		// Merge phase (sequential): stamp (Src, Seq) in per-source emission
+		// order, merge into the deterministic delivery order, and split by
+		// destination. The merged order is a pure function of what the LPs
+		// emitted, which is itself deterministic — worker scheduling cannot
+		// leak in.
+		//
+		// LPs emit in non-decreasing local time in practice (an LP executes
+		// its window in time order), so each per-source stream is almost
+		// always already in (At, Seq) order; a k-way merge over the streams
+		// then produces the (At, Src, Seq) order directly, with no
+		// concatenated buffer and no O(n log n) sort. The sort path stays as
+		// the fallback for the contract's general case.
+		executed, inflight := 0, 0
+		streamsSorted := true
+		for i := range e.LPs {
+			executed += counts[i]
+			for j := range outs[i] {
+				outs[i][j].Src = i
+				outs[i][j].Seq = seqs[i]
+				seqs[i]++
+				if j > 0 && outs[i][j].At < outs[i][j-1].At {
+					streamsSorted = false
+				}
+			}
+			inflight += len(outs[i])
+		}
+		if inflight > 0 {
+			for i := range inboxes {
+				inboxes[i] = inboxes[i][:0]
+			}
+			if streamsSorted {
+				for i := range cursors {
+					cursors[i] = 0
+				}
+				for delivered := 0; delivered < inflight; delivered++ {
+					best := -1
+					for i := range e.LPs {
+						if cursors[i] >= len(outs[i]) {
+							continue
+						}
+						// Src order breaks At ties because i ascends; Seq
+						// order is the within-stream order.
+						if best < 0 || outs[i][cursors[i]].At < outs[best][cursors[best]].At {
+							best = i
+						}
+					}
+					m := outs[best][cursors[best]]
+					cursors[best]++
+					if m.Dst < 0 || m.Dst >= n {
+						return fmt.Errorf("psim: message from LP %d to out-of-range LP %d", m.Src, m.Dst)
+					}
+					inboxes[m.Dst] = append(inboxes[m.Dst], m)
+				}
+			} else {
+				merged = merged[:0]
+				for i := range e.LPs {
+					merged = append(merged, outs[i]...)
+				}
+				sort.Slice(merged, func(a, b int) bool { return merged[a].Before(merged[b]) })
+				for _, m := range merged {
+					if m.Dst < 0 || m.Dst >= n {
+						return fmt.Errorf("psim: message from LP %d to out-of-range LP %d", m.Src, m.Dst)
+					}
+					inboxes[m.Dst] = append(inboxes[m.Dst], m)
+				}
+			}
+			for i, lp := range e.LPs {
+				if len(inboxes[i]) == 0 {
+					continue
+				}
+				if err := lp.Recv(inboxes[i]); err != nil {
+					return fmt.Errorf("psim: LP %d recv: %w", i, err)
+				}
+			}
+		}
+
+		allDone := true
+		for _, lp := range e.LPs {
+			if !lp.Done() {
+				allDone = false
+				break
+			}
+		}
+		if allDone && inflight == 0 {
+			return nil
+		}
+		if executed == 0 && inflight == 0 {
+			return ErrStalled
+		}
+	}
+}

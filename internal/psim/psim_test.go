@@ -1,0 +1,295 @@
+package psim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"flatflash/internal/pcie"
+	"flatflash/internal/sim"
+)
+
+func TestLookaheadIsLinkFloor(t *testing.T) {
+	cfg := pcie.DefaultConfig()
+	want := cfg.MMIOWriteLatency // 0.6us: the cheapest default link primitive
+	if got := Lookahead(cfg); got != want {
+		t.Fatalf("Lookahead(default) = %v, want %v", got, want)
+	}
+	cfg.MMIOWriteLatency = 10 * sim.Microsecond
+	if got := Lookahead(cfg); got != pcie.DefaultConfig().DMAPageLatency {
+		t.Fatalf("Lookahead(inverted) = %v, want DMA floor", got)
+	}
+	if got := Lookahead(pcie.Config{}); got != 1 {
+		t.Fatalf("Lookahead(zero) = %v, want 1ns clamp", got)
+	}
+}
+
+func TestMessageMergeOrder(t *testing.T) {
+	msgs := []Message{
+		{At: 5, Src: 1, Seq: 0},
+		{At: 5, Src: 0, Seq: 2},
+		{At: 5, Src: 0, Seq: 1},
+		{At: 3, Src: 9, Seq: 7},
+	}
+	sort.Slice(msgs, func(a, b int) bool { return msgs[a].Before(msgs[b]) })
+	want := []Message{
+		{At: 3, Src: 9, Seq: 7},
+		{At: 5, Src: 0, Seq: 1},
+		{At: 5, Src: 0, Seq: 2},
+		{At: 5, Src: 1, Seq: 0},
+	}
+	for i := range want {
+		if msgs[i] != want[i] {
+			t.Fatalf("merge order[%d] = %+v, want %+v", i, msgs[i], want[i])
+		}
+	}
+}
+
+func TestTaskLPRunsEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n = 9
+		ran := make([]int, n)
+		lps := make([]LP, n)
+		for i := range lps {
+			lps[i] = &TaskLP{F: func() error { ran[i]++; return nil }}
+		}
+		eng := &Engine{LPs: lps, Lookahead: 1, Workers: workers}
+		if err := eng.Run(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, r := range ran {
+			if r != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, r)
+			}
+		}
+	}
+}
+
+func TestErrorsReportedInLPIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		lps := []LP{
+			&TaskLP{F: func() error { return nil }},
+			&TaskLP{F: func() error { return errors.New("first failure") }},
+			&TaskLP{F: func() error { return errors.New("second failure") }},
+		}
+		eng := &Engine{LPs: lps, Lookahead: 1, Workers: workers}
+		err := eng.Run()
+		if err == nil || !strings.Contains(err.Error(), "LP 1: first failure") {
+			t.Fatalf("workers=%d: err = %v, want deterministic LP 1 failure", workers, err)
+		}
+	}
+}
+
+// stuckLP claims work remains but never executes anything: the engine must
+// diagnose the deadlock instead of spinning.
+type stuckLP struct{}
+
+func (stuckLP) NextSend() (sim.Time, bool) { return 0, false }
+func (stuckLP) Done() bool                 { return false }
+func (stuckLP) Run(h sim.Time, out []Message) ([]Message, int, error) {
+	return out, 0, nil
+}
+func (stuckLP) Recv([]Message) error { return nil }
+
+func TestEngineReportsStall(t *testing.T) {
+	eng := &Engine{LPs: []LP{stuckLP{}}, Lookahead: 1}
+	if err := eng.Run(); !errors.Is(err, ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+}
+
+// strayLP emits a message to a destination outside the LP set.
+type strayLP struct{ sent bool }
+
+func (s *strayLP) NextSend() (sim.Time, bool) { return 1, !s.sent }
+func (s *strayLP) Done() bool                 { return s.sent }
+func (s *strayLP) Run(h sim.Time, out []Message) ([]Message, int, error) {
+	if s.sent {
+		return out, 0, nil
+	}
+	s.sent = true
+	return append(out, Message{At: 1, Dst: 7}), 1, nil
+}
+func (s *strayLP) Recv([]Message) error { return nil }
+
+func TestEngineRejectsOutOfRangeDestination(t *testing.T) {
+	eng := &Engine{LPs: []LP{&strayLP{}}, Lookahead: 1}
+	err := eng.Run()
+	if err == nil || !strings.Contains(err.Error(), "out-of-range") {
+		t.Fatalf("err = %v, want out-of-range destination error", err)
+	}
+}
+
+func TestTaskLPRejectsDeliveries(t *testing.T) {
+	task := &TaskLP{F: func() error { return nil }}
+	if err := task.Recv([]Message{{}}); err == nil {
+		t.Fatal("TaskLP accepted a message")
+	}
+}
+
+// ringLP is the randomized-timing stress LP: a seeded schedule of local
+// events, each of which hashes its context and sends a message one lookahead
+// (plus jitter) downstream to the next LP in the ring. Every send is
+// timestamped at least lookahead after the LP's promise, the strict
+// conservative contract, so any worker count must produce identical hashes.
+type ringLP struct {
+	id, n  int
+	la     sim.Duration
+	events []sim.Time
+	nextEv int
+	inbox  []Message
+	cursor int
+	rng    *sim.RNG
+	hash   uint64
+	seen   int
+}
+
+func mix(h uint64, vs ...uint64) uint64 {
+	for _, v := range vs {
+		h ^= v
+		h *= 0x9e3779b97f4a7c15
+		h ^= h >> 29
+	}
+	return h
+}
+
+func (r *ringLP) NextSend() (sim.Time, bool) {
+	if r.nextEv >= len(r.events) {
+		return 0, false
+	}
+	return r.events[r.nextEv], true
+}
+
+func (r *ringLP) Done() bool {
+	return r.nextEv == len(r.events) && r.cursor == len(r.inbox)
+}
+
+func (r *ringLP) Run(horizon sim.Time, out []Message) ([]Message, int, error) {
+	n := 0
+	for {
+		haveLocal := r.nextEv < len(r.events) && r.events[r.nextEv] < horizon
+		haveMsg := r.cursor < len(r.inbox) && r.inbox[r.cursor].At < horizon
+		switch {
+		case haveMsg && (!haveLocal || r.inbox[r.cursor].At <= r.events[r.nextEv]):
+			m := r.inbox[r.cursor]
+			r.cursor++
+			r.hash = mix(r.hash, uint64(m.At), uint64(m.Src), uint64(m.Seq), m.Page)
+		case haveLocal:
+			at := r.events[r.nextEv]
+			r.nextEv++
+			r.hash = mix(r.hash, uint64(at), uint64(r.id))
+			jitter := sim.Duration(r.rng.Uint64n(uint64(r.la)))
+			out = append(out, Message{
+				At:   at.Add(r.la + jitter),
+				Dst:  (r.id + 1) % r.n,
+				Page: r.hash,
+			})
+		default:
+			return out, n, nil
+		}
+		n++
+		r.seen++
+	}
+}
+
+func (r *ringLP) Recv(msgs []Message) error {
+	if r.cursor > 0 {
+		r.inbox = r.inbox[:copy(r.inbox, r.inbox[r.cursor:])]
+		r.cursor = 0
+	}
+	n := len(r.inbox)
+	r.inbox = append(r.inbox, msgs...)
+	if n > 0 && r.inbox[n].Before(r.inbox[n-1]) {
+		q := r.inbox
+		sort.Slice(q, func(a, b int) bool { return q[a].Before(q[b]) })
+	}
+	return nil
+}
+
+// ringRun builds a seeded ring of LPs with randomized event timing and runs
+// it, returning each LP's final hash and event count.
+func ringRun(t *testing.T, seed uint64, lpCount, workers int) ([]uint64, []int) {
+	t.Helper()
+	const la = 100 * sim.Nanosecond
+	rng := sim.NewRNG(seed)
+	lps := make([]LP, lpCount)
+	rings := make([]*ringLP, lpCount)
+	for i := range lps {
+		events := make([]sim.Time, 40+int(rng.Uint64n(40)))
+		at := sim.Time(0)
+		for j := range events {
+			at = at.Add(sim.Duration(1 + rng.Uint64n(uint64(4*la))))
+			events[j] = at
+		}
+		rings[i] = &ringLP{
+			id: i, n: lpCount, la: la, events: events,
+			rng: sim.NewRNG(mix(seed, uint64(i))),
+		}
+		lps[i] = rings[i]
+	}
+	eng := &Engine{LPs: lps, Lookahead: la, Workers: workers}
+	if err := eng.Run(); err != nil {
+		t.Fatalf("seed=%d workers=%d: %v", seed, workers, err)
+	}
+	hashes := make([]uint64, lpCount)
+	counts := make([]int, lpCount)
+	total, localTotal := 0, 0
+	for i, r := range rings {
+		hashes[i] = r.hash
+		counts[i] = r.seen
+		total += r.seen
+		localTotal += len(r.events)
+	}
+	// Every local event fires exactly one message, and both must execute.
+	if total != 2*localTotal {
+		t.Fatalf("seed=%d workers=%d: executed %d events, want %d", seed, workers, total, 2*localTotal)
+	}
+	return hashes, counts
+}
+
+// TestRingStressDeterministic is the engine's core determinism gate: seeded
+// randomized LP event timing must produce identical per-LP hashes whatever
+// the worker count. Run with -race, this also exercises the barrier's
+// happens-before edges under real contention.
+func TestRingStressDeterministic(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		wantHash, wantCount := ringRun(t, seed, 9, 1)
+		for _, workers := range []int{2, 4, 8} {
+			gotHash, gotCount := ringRun(t, seed, 9, workers)
+			for i := range wantHash {
+				if gotHash[i] != wantHash[i] || gotCount[i] != wantCount[i] {
+					t.Fatalf("seed=%d workers=%d LP %d: hash/count %x/%d, want %x/%d",
+						seed, workers, i, gotHash[i], gotCount[i], wantHash[i], wantCount[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRingStressRepeatable re-runs the same configuration at the same worker
+// count: scheduling noise across identical runs must not leak in either.
+func TestRingStressRepeatable(t *testing.T) {
+	a, _ := ringRun(t, 5, 6, 4)
+	b, _ := ringRun(t, 5, 6, 4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("LP %d hash differs across identical runs: %x vs %x", i, a[i], b[i])
+		}
+	}
+}
+
+func ExampleEngine() {
+	done := make([]bool, 3)
+	lps := make([]LP, 3)
+	for i := range lps {
+		lps[i] = &TaskLP{F: func() error { done[i] = true; return nil }}
+	}
+	eng := &Engine{LPs: lps, Lookahead: Lookahead(pcie.DefaultConfig()), Workers: 2}
+	if err := eng.Run(); err != nil {
+		panic(err)
+	}
+	fmt.Println(done[0] && done[1] && done[2])
+	// Output: true
+}

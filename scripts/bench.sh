@@ -5,7 +5,7 @@
 # streams to the terminal.
 #
 # The output name comes from the single argument; `make bench` passes the
-# current snapshot name (BENCH_8.json), which is also the default here so a
+# current snapshot name (BENCH_9.json), which is also the default here so a
 # bare ./scripts/bench.sh writes the same file the Makefile would.
 #
 # BENCHTIME overrides the per-benchmark budget (default 1s). CI's warn-only
@@ -16,7 +16,7 @@ if [ $# -gt 1 ]; then
     echo "usage: $0 [output.json]" >&2
     exit 2
 fi
-out=${1:-BENCH_8.json}
+out=${1:-BENCH_9.json}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
@@ -27,24 +27,29 @@ $1 ~ /^Benchmark/ && $3 == "ns/op" || ($4 == "ns/op") {
     # Lines look like: BenchmarkName-8  1234  567 ns/op  89 B/op  4 allocs/op
     name = $1
     sub(/-[0-9]+$/, "", name)
-    ns = ""; allocs = ""
+    ns = ""; allocs = ""; extra = ""
     for (i = 2; i < NF; i++) {
         if ($(i + 1) == "ns/op") ns = $i
         if ($(i + 1) == "allocs/op") allocs = $i
+        # Custom ReportMetric units worth snapshotting: the parallel
+        # engine speedup and the core count it was measured on.
+        if ($(i + 1) == "speedup-x") extra = extra ", \"speedup_x\": " $i
+        if ($(i + 1) == "cpus") extra = extra ", \"cpus\": " $i
     }
     if (ns != "") {
         if (allocs == "") allocs = 0
         names[++n] = name
         nsof[name] = ns
         allocsof[name] = allocs
+        extraof[name] = extra
     }
 }
 END {
     printf "{\n" > out
     for (i = 1; i <= n; i++) {
         name = names[i]
-        printf "  \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
-            name, nsof[name], allocsof[name], (i < n ? "," : "") >> out
+        printf "  \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s%s}%s\n", \
+            name, nsof[name], allocsof[name], extraof[name], (i < n ? "," : "") >> out
     }
     printf "}\n" >> out
 }' "$raw"

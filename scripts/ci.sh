@@ -116,6 +116,20 @@ grep -q "fleet sweep points=4" /tmp/fleet_run1.txt || {
     echo "fleet report missing sweep header"; exit 1; }
 echo "fleet smoke ok"
 
+echo "== parallel engine smoke =="
+# One experiment through the real CLI on the conservative parallel engine,
+# at GOMAXPROCS=1 and GOMAXPROCS=4, byte-compared against the sequential
+# event loop — the ISSUE 9 determinism contract end to end: reports must
+# not depend on the engine, the worker count, or the machine.
+/tmp/flatflash-bench -quick consolidate > /tmp/psim_seq.txt
+GOMAXPROCS=1 /tmp/flatflash-bench -quick -parallel 4 consolidate > /tmp/psim_par1.txt
+GOMAXPROCS=4 /tmp/flatflash-bench -quick -parallel 4 consolidate > /tmp/psim_par4.txt
+cmp /tmp/psim_seq.txt /tmp/psim_par1.txt || {
+    echo "parallel report differs from sequential at GOMAXPROCS=1"; exit 1; }
+cmp /tmp/psim_seq.txt /tmp/psim_par4.txt || {
+    echo "parallel report differs from sequential at GOMAXPROCS=4"; exit 1; }
+echo "parallel engine smoke ok"
+
 echo "== demand map smoke =="
 # The demand-paged translation map must never change data results — only
 # when map accesses cost time and what gets persisted. The equivalence
@@ -181,5 +195,9 @@ cover_floor ./internal/workload 80
 # its replacement/GTD bookkeeping is pure policy code — cheap to cover, and
 # costly to get wrong silently.
 cover_floor ./internal/mapcache 80
+# The parallel engine's merge/barrier logic decides whether every parallel
+# report can be trusted; uncovered branches there are silent determinism
+# holes.
+cover_floor ./internal/psim 80
 
 echo "ci: all green"
