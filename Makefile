@@ -3,15 +3,24 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: ci fmt vet lint build test race bench fuzz crashsweep
+.PHONY: ci fmt vet lint lint-fix build test race bench fuzz crashsweep
 
 ci:
 	./scripts/ci.sh
 
 # Static enforcement of determinism / virtual-time / hot-path invariants
-# (walltime, seededrand, mapiter, hotalloc, probenil — see DESIGN.md).
+# (walltime, seededrand, mapiter, hotalloc, probenil, sharedstate,
+# attribwindow, detflow — see the analyzer catalog in DESIGN.md).
 lint:
 	go run ./cmd/flatflash-lint ./...
+
+# Apply the suggested fixes (attribwindow Abandon insertion, mapiter
+# sorted-walk rewrite), then verify the rewrites are gofmt-clean. A second
+# run proposes nothing: every fix removes the diagnostic that suggested it.
+lint-fix:
+	go run ./cmd/flatflash-lint -fix ./...
+	@out=$$(gofmt -l $(GOFILES)); \
+	if [ -n "$$out" ]; then echo "lint-fix left unformatted files:"; echo "$$out"; exit 1; fi
 
 fmt:
 	@out=$$(gofmt -l $(GOFILES)); \

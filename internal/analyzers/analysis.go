@@ -16,17 +16,32 @@
 // build environment is hermetic: packages are loaded by internal/analyzers/load
 // via `go list -json -deps` plus go/types.
 //
-// Three source annotations interact with the suite:
+// The source annotations that interact with the suite:
 //
 //	//flatflash:hotpath    on a function's doc comment opts it into the
-//	                       hotalloc allocation gate.
+//	                       hotalloc allocation gate (AST checks plus the
+//	                       interprocedural closure rule: hot functions may
+//	                       only call annotated or coldpath functions).
+//	//flatflash:coldpath   on a function's doc comment marks it an
+//	                       acknowledged slow-path callee: hotpath functions
+//	                       may call it without the closure diagnostic, and
+//	                       its own body is not allocation-gated.
 //	//flatflash:lp         on a function's doc comment opts it into the
 //	                       sharedstate gate for psim LP bodies.
+//	//flatflash:deterministic
+//	                       on a function's doc comment opts it into the
+//	                       mapiter/detflow ordered-output gates even when
+//	                       its name does not look emit-shaped.
 //	//lint:ignore <analyzers> <reason>
 //	                       on (or immediately above) a line suppresses the
 //	                       named analyzers' diagnostics for that line. The
 //	                       reason is mandatory; a malformed directive is
 //	                       itself a diagnostic.
+//
+// Flow-sensitive analyzers (attribwindow, detflow, the hotalloc closure
+// rule) build per-function control-flow graphs via internal/analyzers/cfg
+// and iterate forward dataflow to a fixpoint; see that package's doc for
+// the graph shape contract.
 package analyzers
 
 import (
@@ -34,8 +49,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"os"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // An Analyzer is one named static check.
@@ -69,16 +86,40 @@ type Target struct {
 	Info  *types.Info
 }
 
+// A TextEdit is one byte-exact replacement: the source in [Pos, End) is
+// replaced by NewText. Pos == End inserts.
+type TextEdit struct {
+	Pos     token.Position
+	End     token.Position
+	NewText string
+}
+
+// A Fix is one suggested mechanical repair for a diagnostic, applied by
+// flatflash-lint -fix. Edits must not overlap.
+type Fix struct {
+	Message string
+	Edits   []TextEdit
+}
+
 // A Diagnostic is one reported violation, carrying a resolved position so
-// it can be sorted and printed without the FileSet.
+// it can be sorted and printed without the FileSet. Fixes, when present,
+// are mechanical rewrites -fix can apply.
 type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	Fixes    []Fix
 }
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// sameDiag reports whether two diagnostics are duplicates for dedup
+// purposes (fixes ride along with the identity fields, so comparing them
+// would never split otherwise-identical reports).
+func sameDiag(a, b Diagnostic) bool {
+	return a.Analyzer == b.Analyzer && a.Pos == b.Pos && a.Message == b.Message
 }
 
 // A Pass carries one analyzer's run over one target.
@@ -86,6 +127,9 @@ type Pass struct {
 	*Target
 	Analyzer *Analyzer
 	diags    []Diagnostic
+
+	srcMu sync.Mutex
+	src   map[string][]byte
 }
 
 // Reportf records a diagnostic at pos.
@@ -97,9 +141,52 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportWithFix records a diagnostic at pos carrying a suggested fix whose
+// single edit replaces [start, end) with newText.
+func (p *Pass) ReportWithFix(pos token.Pos, fixMsg string, start, end token.Pos, newText string, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Fixes: []Fix{{
+			Message: fixMsg,
+			Edits: []TextEdit{{
+				Pos:     p.Fset.Position(start),
+				End:     p.Fset.Position(end),
+				NewText: newText,
+			}},
+		}},
+	})
+}
+
+// SourceText returns the raw bytes of the source range [start, end), read
+// from the file on disk (cached per pass). Analyzers use it to build
+// byte-exact rewrites that preserve the original spelling of expressions.
+// Returns "" when the file cannot be read (generated fixtures in memory).
+func (p *Pass) SourceText(start, end token.Pos) string {
+	sp, ep := p.Fset.Position(start), p.Fset.Position(end)
+	if sp.Filename == "" || sp.Filename != ep.Filename {
+		return ""
+	}
+	p.srcMu.Lock()
+	defer p.srcMu.Unlock()
+	if p.src == nil {
+		p.src = make(map[string][]byte)
+	}
+	data, ok := p.src[sp.Filename]
+	if !ok {
+		data, _ = os.ReadFile(sp.Filename)
+		p.src[sp.Filename] = data
+	}
+	if data == nil || sp.Offset < 0 || ep.Offset > len(data) || sp.Offset > ep.Offset {
+		return ""
+	}
+	return string(data[sp.Offset:ep.Offset])
+}
+
 // All returns the full flatflash-lint suite.
 func All() []*Analyzer {
-	return []*Analyzer{Walltime, SeededRand, MapIter, HotAlloc, ProbeNil, SharedState}
+	return []*Analyzer{Walltime, SeededRand, MapIter, HotAlloc, ProbeNil, SharedState, AttribWindow, DetFlow}
 }
 
 // Run applies the analyzers to every target, drops diagnostics suppressed
@@ -107,22 +194,46 @@ func All() []*Analyzer {
 // sorted by position. Malformed directives are reported under the pseudo-
 // analyzer name "lint".
 func Run(targets []*Target, analyzers []*Analyzer) []Diagnostic {
-	var out []Diagnostic
-	for _, tgt := range targets {
-		ig, bad := collectIgnores(tgt)
-		out = append(out, bad...)
-		for _, a := range analyzers {
-			if a.allows(tgt.Path) {
-				continue
-			}
-			pass := &Pass{Target: tgt, Analyzer: a}
-			a.Run(pass)
-			for _, d := range pass.diags {
-				if !ig.suppressed(a.Name, d.Pos) {
-					out = append(out, d)
+	return RunN(targets, analyzers, 1)
+}
+
+// RunN is Run with per-target parallelism: up to workers targets are
+// analyzed concurrently. Diagnostics are position-sorted and deduped after
+// the fan-in, so output is byte-identical regardless of worker count.
+func RunN(targets []*Target, analyzers []*Analyzer, workers int) []Diagnostic {
+	if workers < 1 {
+		workers = 1
+	}
+	perTarget := make([][]Diagnostic, len(targets))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, tgt := range targets {
+		wg.Add(1)
+		go func(i int, tgt *Target) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ig, bad := collectIgnores(tgt)
+			diags := bad
+			for _, a := range analyzers {
+				if a.allows(tgt.Path) {
+					continue
+				}
+				pass := &Pass{Target: tgt, Analyzer: a}
+				a.Run(pass)
+				for _, d := range pass.diags {
+					if !ig.suppressed(a.Name, d.Pos) {
+						diags = append(diags, d)
+					}
 				}
 			}
-		}
+			perTarget[i] = diags
+		}(i, tgt)
+	}
+	wg.Wait()
+	var out []Diagnostic
+	for _, diags := range perTarget {
+		out = append(out, diags...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -144,7 +255,7 @@ func Run(targets []*Target, analyzers []*Analyzer) []Diagnostic {
 	// not be reported twice).
 	dedup := out[:0]
 	for i, d := range out {
-		if i == 0 || d != out[i-1] {
+		if i == 0 || !sameDiag(d, out[i-1]) {
 			dedup = append(dedup, d)
 		}
 	}

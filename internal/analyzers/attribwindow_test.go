@@ -1,0 +1,12 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"flatflash/internal/analyzers"
+	"flatflash/internal/analyzers/analyzertest"
+)
+
+func TestAttribWindow(t *testing.T) {
+	analyzertest.Run(t, analyzers.AttribWindow, "flatflash/attribwindow/a")
+}

@@ -1,0 +1,403 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies and runs forward dataflow over them. It is the
+// flow-sensitive substrate of flatflash-lint: per-node AST walks can state
+// "this call exists" but not "this call happens on every path", and the
+// invariants the attribwindow and detflow analyzers guard (every
+// Attribution.Begin closed on all paths, no map-order value reaching an
+// emitter) are path properties. The hermetic build cannot vendor
+// golang.org/x/tools/go/cfg, so this is a small self-contained equivalent
+// tuned to what the analyzers need.
+//
+// Graph shape: one synthetic Entry block, one synthetic Exit block. Every
+// return, every explicit panic(...) call statement, and the fall-off-the-end
+// of the body edge into Exit. Blocks carry the AST nodes control passes
+// through, in order; control statements are decomposed so that a block never
+// contains a nested statement list:
+//
+//   - if:          Init stmt and Cond expr appear as nodes; branches are blocks
+//   - for:         Init/Cond/Post appear as nodes in their own blocks
+//   - range:       the *ast.RangeStmt itself is the loop-header node (clients
+//     read X/Key/Value from it and must not walk Body)
+//   - switch:      Init/Tag nodes, one block per case body, fallthrough edges
+//   - type switch: Init and the Assign stmt/expr as header nodes
+//   - select:      one block per comm clause (the comm stmt leads the block)
+//   - labeled statements, break/continue with and without labels, and goto
+//     resolve to their targets; panic(...) statements edge to Exit
+//
+// Unreachable code (after return/panic, or a break-less infinite loop's
+// tail) produces blocks with no predecessors; Forward never visits them.
+package cfg
+
+import (
+	"go/ast"
+)
+
+// A Block is one basic block: a maximal straight-line node sequence.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	Blocks []*Block // creation order; Blocks[0] == Entry
+	Entry  *Block
+	Exit   *Block // synthetic; in Blocks too
+}
+
+// New builds the control-flow graph of body.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, b.g.Exit)
+	b.resolveGotos()
+	return b.g
+}
+
+type loopFrame struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select frames (not continue targets)
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block
+	frames []loopFrame // innermost last; switch/select push with continueTo nil
+	labels map[string]*Block
+	gotos  []pendingGoto
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// startBlock finishes cur with an edge to next (if control can fall
+// through) and makes next current.
+func (b *builder) startBlock(next *Block, fallthru bool) {
+	if fallthru {
+		b.edge(b.cur, next)
+	}
+	b.cur = next
+}
+
+func (b *builder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(st.List)
+
+	case *ast.ReturnStmt:
+		b.add(st)
+		b.edge(b.cur, b.g.Exit)
+		b.startBlock(b.newBlock(), false) // dead until something jumps here
+
+	case *ast.ExprStmt:
+		b.add(st)
+		if isPanicCall(st.X) {
+			b.edge(b.cur, b.g.Exit)
+			b.startBlock(b.newBlock(), false)
+		}
+
+	case *ast.IfStmt:
+		b.add(st.Init)
+		b.add(st.Cond)
+		condBlock := b.cur
+		join := b.newBlock()
+		thenBlock := b.newBlock()
+		b.edge(condBlock, thenBlock)
+		b.cur = thenBlock
+		b.stmtList(st.Body.List)
+		b.edge(b.cur, join)
+		if st.Else != nil {
+			elseBlock := b.newBlock()
+			b.edge(condBlock, elseBlock)
+			b.cur = elseBlock
+			b.stmt(st.Else)
+			b.edge(b.cur, join)
+		} else {
+			b.edge(condBlock, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		b.forStmt(st, "")
+
+	case *ast.RangeStmt:
+		b.rangeStmt(st, "")
+
+	case *ast.SwitchStmt:
+		b.switchStmt(st, "")
+
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(st, "")
+
+	case *ast.SelectStmt:
+		b.selectStmt(st, "")
+
+	case *ast.LabeledStmt:
+		b.labeledStmt(st)
+
+	case *ast.BranchStmt:
+		b.branchStmt(st)
+
+	case nil:
+		// Absent optional statement (if/for Init), nothing to do.
+
+	default:
+		// Assign, Decl, IncDec, Defer, Go, Send, Empty: straight-line.
+		b.add(s)
+	}
+}
+
+func (b *builder) labeledStmt(st *ast.LabeledStmt) {
+	switch inner := st.Stmt.(type) {
+	case *ast.ForStmt:
+		b.forStmt(inner, st.Label.Name)
+	case *ast.RangeStmt:
+		b.rangeStmt(inner, st.Label.Name)
+	case *ast.SwitchStmt:
+		b.switchStmt(inner, st.Label.Name)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(inner, st.Label.Name)
+	case *ast.SelectStmt:
+		b.selectStmt(inner, st.Label.Name)
+	default:
+		// A plain labeled statement: a goto target.
+		target := b.newBlock()
+		b.startBlock(target, true)
+		b.defineLabel(st.Label.Name, target)
+		b.stmt(st.Stmt)
+	}
+}
+
+func (b *builder) defineLabel(name string, blk *Block) {
+	if b.labels == nil {
+		b.labels = make(map[string]*Block)
+	}
+	b.labels[name] = blk
+}
+
+func (b *builder) branchStmt(st *ast.BranchStmt) {
+	label := ""
+	if st.Label != nil {
+		label = st.Label.Name
+	}
+	switch st.Tok.String() {
+	case "break":
+		if f := b.findFrame(label, false); f != nil {
+			b.edge(b.cur, f.breakTo)
+		}
+		b.startBlock(b.newBlock(), false)
+	case "continue":
+		if f := b.findFrame(label, true); f != nil {
+			b.edge(b.cur, f.continueTo)
+		}
+		b.startBlock(b.newBlock(), false)
+	case "goto":
+		b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: label})
+		b.startBlock(b.newBlock(), false)
+	case "fallthrough":
+		// Handled structurally inside switchStmt; ignore here.
+	}
+}
+
+// findFrame returns the innermost frame matching label (any frame when label
+// is empty). needContinue restricts to loop frames.
+func (b *builder) findFrame(label string, needContinue bool) *loopFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if needContinue && f.continueTo == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+func (b *builder) resolveGotos() {
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			b.edge(g.from, target)
+		}
+	}
+}
+
+func (b *builder) forStmt(st *ast.ForStmt, label string) {
+	b.add(st.Init)
+	head := b.newBlock()
+	b.startBlock(head, true)
+	b.add(st.Cond)
+	after := b.newBlock()
+	if st.Cond != nil {
+		b.edge(head, after)
+	}
+	post := head
+	if st.Post != nil {
+		post = b.newBlock()
+		post.Nodes = append(post.Nodes, st.Post)
+		b.edge(post, head)
+	}
+	body := b.newBlock()
+	b.edge(head, body)
+	b.cur = body
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: after, continueTo: post})
+	b.stmtList(st.Body.List)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.edge(b.cur, post)
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(st *ast.RangeStmt, label string) {
+	head := b.newBlock()
+	b.startBlock(head, true)
+	// The RangeStmt itself is the header node: clients read X/Key/Value and
+	// must not descend into Body (its statements live in their own blocks).
+	b.add(st)
+	after := b.newBlock()
+	b.edge(head, after)
+	body := b.newBlock()
+	b.edge(head, body)
+	b.cur = body
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: after, continueTo: head})
+	b.stmtList(st.Body.List)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.edge(b.cur, head)
+	b.cur = after
+}
+
+func (b *builder) switchStmt(st *ast.SwitchStmt, label string) {
+	b.add(st.Init)
+	b.add(st.Tag)
+	head := b.cur
+	after := b.newBlock()
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: after})
+	var caseBlocks []*Block
+	hasDefault := false
+	for _, c := range st.Body.List {
+		cc := c.(*ast.CaseClause)
+		blk := b.newBlock()
+		caseBlocks = append(caseBlocks, blk)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			head.Nodes = append(head.Nodes, e)
+		}
+		b.edge(head, blk)
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	for i, c := range st.Body.List {
+		cc := c.(*ast.CaseClause)
+		b.cur = caseBlocks[i]
+		b.stmtList(cc.Body)
+		if endsInFallthrough(cc.Body) && i+1 < len(caseBlocks) {
+			b.edge(b.cur, caseBlocks[i+1])
+		} else {
+			b.edge(b.cur, after)
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+func (b *builder) typeSwitchStmt(st *ast.TypeSwitchStmt, label string) {
+	b.add(st.Init)
+	b.add(st.Assign)
+	head := b.cur
+	after := b.newBlock()
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: after})
+	hasDefault := false
+	for _, c := range st.Body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		blk := b.newBlock()
+		b.edge(head, blk)
+		b.cur = blk
+		b.stmtList(cc.Body)
+		b.edge(b.cur, after)
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+func (b *builder) selectStmt(st *ast.SelectStmt, label string) {
+	head := b.cur
+	after := b.newBlock()
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: after})
+	for _, c := range st.Body.List {
+		cc := c.(*ast.CommClause)
+		blk := b.newBlock()
+		b.edge(head, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.add(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, after)
+	}
+	// A select with no default blocks until a case fires, so there is no
+	// head->after edge; with zero cases it blocks forever (no edges at all).
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+func endsInFallthrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok.String() == "fallthrough"
+}
+
+// isPanicCall reports whether e is a direct panic(...) call. Syntactic: a
+// local function shadowing the predeclared panic would be misread, which the
+// tree's style forbids anyway.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

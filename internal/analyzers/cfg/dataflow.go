@@ -1,0 +1,46 @@
+package cfg
+
+import "go/ast"
+
+// Forward runs a forward dataflow fixpoint over g. entry is the fact at
+// function entry; transfer folds one AST node into a fact (it must treat the
+// fact as immutable and return a fresh value when anything changes); merge
+// joins facts at control-flow confluences; equal decides convergence.
+//
+// The returned map holds, for every reachable block, the fact at block ENTRY
+// (after merging all predecessor exit facts). Callers that need per-node
+// facts re-apply transfer over Block.Nodes starting from the entry fact —
+// the usual two-phase pattern: fixpoint first, then one reporting walk.
+// Unreachable blocks are absent from the map.
+func Forward[F any](g *Graph, entry F, transfer func(F, ast.Node) F, merge func(F, F) F, equal func(F, F) bool) map[*Block]F {
+	in := map[*Block]F{g.Entry: entry}
+	// Worklist seeded in block-creation order for determinism; duplicates
+	// are filtered with the queued set.
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+
+		fact := in[blk]
+		for _, n := range blk.Nodes {
+			fact = transfer(fact, n)
+		}
+		for _, succ := range blk.Succs {
+			next := fact
+			if old, ok := in[succ]; ok {
+				next = merge(old, fact)
+				if equal(old, next) {
+					continue
+				}
+			}
+			in[succ] = next
+			if !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,12 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"flatflash/internal/analyzers"
+	"flatflash/internal/analyzers/analyzertest"
+)
+
+func TestDetFlow(t *testing.T) {
+	analyzertest.Run(t, analyzers.DetFlow, "flatflash/detflow/a")
+}

@@ -14,10 +14,17 @@ func TestDirectiveValidation(t *testing.T) {
 	analyzertest.Run(t, analyzers.Walltime, "flatflash/lintdir/a")
 }
 
+// TestDirectiveScope drives the suppression edge cases end to end:
+// comma-separated analyzer lists, own-line/next-line coverage, and the
+// directive-above-a-block shape that must NOT suppress the block body.
+func TestDirectiveScope(t *testing.T) {
+	analyzertest.Run(t, analyzers.Walltime, "flatflash/lintdir/b")
+}
+
 // TestSuiteNames pins the suite composition: CLI -only flags and
 // //lint:ignore directives resolve against these names.
 func TestSuiteNames(t *testing.T) {
-	want := []string{"walltime", "seededrand", "mapiter", "hotalloc", "probenil", "sharedstate"}
+	want := []string{"walltime", "seededrand", "mapiter", "hotalloc", "probenil", "sharedstate", "attribwindow", "detflow"}
 	all := analyzers.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() has %d analyzers, want %d", len(all), len(want))

@@ -1,0 +1,128 @@
+package analyzers_test
+
+import (
+	"go/format"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flatflash/internal/analyzers"
+	"flatflash/internal/analyzers/load"
+)
+
+// copyTree duplicates the fixture module into dst so ApplyFixes can rewrite
+// files without dirtying the checked-in corpus.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		out := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(out, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(out, data, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("copying fixtures: %v", err)
+	}
+}
+
+func runAll(t *testing.T, dir string) []analyzers.Diagnostic {
+	t.Helper()
+	targets, err := load.Packages(dir, []string{"flatflash/fixme/a"})
+	if err != nil {
+		t.Fatalf("loading fixme corpus from %s: %v", dir, err)
+	}
+	return analyzers.Run(targets, analyzers.All())
+}
+
+// TestApplyFixes drives the full -fix cycle over the fixme corpus: the
+// initial run must propose fixes (attribwindow's Abandon insertion and
+// mapiter's sorted-walk rewrite), applying them must leave the package
+// diagnostic-free and gofmt-clean, and a second cycle must change nothing —
+// the idempotence flatflash-lint -fix promises.
+func TestApplyFixes(t *testing.T) {
+	tmp := t.TempDir()
+	copyTree(t, "testdata/src", tmp)
+
+	diags := runAll(t, tmp)
+	if len(diags) == 0 {
+		t.Fatalf("fixme corpus produced no diagnostics")
+	}
+	withFix := map[string]bool{}
+	for _, d := range diags {
+		if len(d.Fixes) > 0 {
+			withFix[d.Analyzer] = true
+		}
+	}
+	for _, want := range []string{"attribwindow", "mapiter"} {
+		if !withFix[want] {
+			t.Errorf("no %s diagnostic carried a fix; diagnostics: %v", want, diags)
+		}
+	}
+
+	files, err := analyzers.ApplyFixes(diags)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if len(files) != 2 {
+		t.Errorf("ApplyFixes rewrote %d files, want 2: %v", len(files), files)
+	}
+
+	// Every fix removes the diagnostic that suggested it, and the rewrites
+	// must not introduce violations of any other analyzer (the sorted walk
+	// also launders the detflow taint, for instance).
+	after := runAll(t, tmp)
+	if len(after) != 0 {
+		t.Errorf("fixed corpus still has %d diagnostics:", len(after))
+		for _, d := range after {
+			t.Errorf("  %s [%s]", d, d.Analyzer)
+		}
+	}
+
+	// The rewritten sources are exactly what gofmt would produce.
+	snapshot := map[string][]byte{}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatalf("reading fixed file: %v", err)
+		}
+		snapshot[f] = data
+		formatted, err := format.Source(data)
+		if err != nil {
+			t.Fatalf("%s does not parse after fixing: %v", f, err)
+		}
+		if string(formatted) != string(data) {
+			t.Errorf("%s is not gofmt-clean after fixing:\n%s", f, data)
+		}
+	}
+
+	// Idempotence: a second -fix cycle proposes nothing and touches nothing.
+	refixed, err := analyzers.ApplyFixes(after)
+	if err != nil {
+		t.Fatalf("second ApplyFixes: %v", err)
+	}
+	if len(refixed) != 0 {
+		t.Errorf("second ApplyFixes rewrote %v", refixed)
+	}
+	for f, before := range snapshot {
+		now, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatalf("re-reading %s: %v", f, err)
+		}
+		if string(now) != string(before) {
+			t.Errorf("%s changed across the second fix cycle", f)
+		}
+	}
+}

@@ -17,42 +17,81 @@ import (
 //	non-constant string +     string<->[]byte/[]rune conversions
 //	map/slice composite literals, &T{...}
 //	func literals (closure capture)      go statements
+//	defer statements          bound-method values (x.M as a value)
+//	interface boxing of concrete non-pointer arguments at any call site
 //
 // Deliberately NOT flagged: map index/assign/delete on pre-warmed maps and
 // panics with constant arguments — the intrusive-LRU hot paths rely on
-// bucket reuse, which allocates only until warm. Calls into other functions
-// are also not traced; annotate the callee instead. A construct that is
+// bucket reuse, which allocates only until warm. A construct that is
 // provably non-escaping can be kept under //lint:ignore hotalloc <reason>.
+//
+// The closure rule makes the gate interprocedural: a hotpath function may
+// only call same-package functions that are themselves //flatflash:hotpath
+// (the gate extends through them) or //flatflash:coldpath (an acknowledged
+// slow-path exit — miss handling, crash teardown, promotion machinery —
+// whose cost is accepted and whose body is not gated). A call into an
+// unannotated same-package function is flagged: either the callee belongs
+// in the gate or the exit is a decision someone should have written down.
+// Cross-package callees are out of reach (dependencies are loaded without
+// function bodies or comments) — annotate in the callee's package instead.
 
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
 	Doc: "in //flatflash:hotpath functions, flag constructs that heap-allocate " +
-		"(make/new/append, fmt, string concat/conversions, composite literals, closures)",
+		"(make/new/append, fmt, defer, string concat/conversions, composite literals, " +
+		"closures, method values, interface boxing) and calls into same-package " +
+		"functions that are neither hotpath nor coldpath",
 	Run: runHotAlloc,
 }
 
-const hotpathDirective = "//flatflash:hotpath"
+const (
+	hotpathDirective  = "//flatflash:hotpath"
+	coldpathDirective = "//flatflash:coldpath"
+)
 
 func runHotAlloc(p *Pass) {
+	// Map every same-package function object to its annotation state so the
+	// closure rule can classify call targets.
+	ann := map[*types.Func]int{} // 0 unannotated, 1 hotpath, 2 coldpath
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			switch {
+			case hasDirective(fd.Doc, hotpathDirective):
+				ann[obj] = 1
+			case hasDirective(fd.Doc, coldpathDirective):
+				ann[obj] = 2
+			default:
+				ann[obj] = 0
+			}
+		}
+	}
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil || !hasDirective(fd.Doc, hotpathDirective) {
 				continue
 			}
-			p.checkHotBody(fd.Body)
+			p.checkHotBody(fd.Body, ann)
 		}
 	}
 }
 
-func (p *Pass) checkHotBody(body *ast.BlockStmt) {
+func (p *Pass) checkHotBody(body *ast.BlockStmt, ann map[*types.Func]int) {
 	var stack []ast.Node
 	ast.Inspect(body, func(n ast.Node) bool {
 		if n == nil {
 			stack = stack[:len(stack)-1]
 			return true
 		}
-		descend := p.checkHotNode(n, stack)
+		descend := p.checkHotNode(n, stack, ann)
 		if !descend {
 			return false
 		}
@@ -63,15 +102,19 @@ func (p *Pass) checkHotBody(body *ast.BlockStmt) {
 
 // checkHotNode reports n if it allocates; the return value says whether to
 // descend into n's children.
-func (p *Pass) checkHotNode(n ast.Node, stack []ast.Node) bool {
+func (p *Pass) checkHotNode(n ast.Node, stack []ast.Node, ann map[*types.Func]int) bool {
 	switch e := n.(type) {
 	case *ast.FuncLit:
 		p.Reportf(e.Pos(), "closure in hot path: the func literal and its captured variables allocate")
 		return false // inner allocations are moot once the closure is gone
 	case *ast.GoStmt:
 		p.Reportf(e.Pos(), "go statement in hot path allocates a goroutine (and breaks single-threaded determinism)")
+	case *ast.DeferStmt:
+		p.Reportf(e.Pos(), "defer in hot path allocates a deferred-call record; restructure so cleanup runs inline")
 	case *ast.CallExpr:
-		p.checkHotCall(e)
+		p.checkHotCall(e, ann)
+	case *ast.SelectorExpr:
+		p.checkMethodValue(e, stack)
 	case *ast.BinaryExpr:
 		if e.Op == token.ADD && p.isNonConstString(e) && !p.parentIsStringAdd(stack) {
 			p.Reportf(e.Pos(), "non-constant string concatenation allocates; use a preallocated buffer")
@@ -97,7 +140,7 @@ func (p *Pass) checkHotNode(n ast.Node, stack []ast.Node) bool {
 	return true
 }
 
-func (p *Pass) checkHotCall(call *ast.CallExpr) {
+func (p *Pass) checkHotCall(call *ast.CallExpr, ann map[*types.Func]int) {
 	// Builtins: make/new/append.
 	if id, ok := call.Fun.(*ast.Ident); ok {
 		if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
@@ -131,6 +174,104 @@ func (p *Pass) checkHotCall(call *ast.CallExpr) {
 		} else if isByteOrRuneSlice(dst) && isString(src.Underlying()) {
 			p.Reportf(call.Pos(), "byte/rune-slice conversion copies and allocates in hot path")
 		}
+		return // a conversion has no callee and boxes nothing
+	}
+	p.checkHotClosure(call, ann)
+	p.checkInterfaceBoxing(call)
+}
+
+// checkHotClosure enforces the interprocedural closure rule: a call from a
+// hot body into a same-package function must hit a //flatflash:hotpath
+// (gate extends) or //flatflash:coldpath (acknowledged slow-path exit)
+// function.
+func (p *Pass) checkHotClosure(call *ast.CallExpr, ann map[*types.Func]int) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return
+	}
+	fn, ok := p.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg() != p.Pkg {
+		return
+	}
+	state, known := ann[fn]
+	if !known {
+		// Interface-method dispatch: the dynamic callee is unknowable
+		// statically, so the closure rule cannot chase it. (Info.Defs only
+		// maps declared concrete functions into ann.)
+		return
+	}
+	if state == 0 {
+		p.Reportf(call.Pos(), "hot path calls %s, which is neither //flatflash:hotpath nor //flatflash:coldpath; annotate the callee to extend the gate or acknowledge the slow-path exit", fn.Name())
+	}
+}
+
+// checkMethodValue flags x.M used as a value (not called): binding a method
+// to its receiver allocates the pair.
+func (p *Pass) checkMethodValue(sel *ast.SelectorExpr, stack []ast.Node) {
+	selection, ok := p.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return
+	}
+	// x.M() is a call, not a method value: skip when the parent call's Fun
+	// is this selector.
+	if len(stack) > 0 {
+		if call, ok := stack[len(stack)-1].(*ast.CallExpr); ok && call.Fun == sel {
+			return
+		}
+	}
+	p.Reportf(sel.Pos(), "bound method value %s.%s allocates (receiver capture); call it directly or restructure", types.ExprString(sel.X), sel.Sel.Name)
+}
+
+// checkInterfaceBoxing flags concrete, non-pointer, non-constant arguments
+// passed to interface parameters at non-fmt call sites (fmt calls are
+// flagged wholesale above). Storing a concrete value into an interface
+// heap-allocates the boxed copy unless the escape analyzer can prove
+// otherwise; hot paths must pass pointers or pre-boxed values.
+func (p *Pass) checkInterfaceBoxing(call *ast.CallExpr) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+			return // panic/print/... take `any` but constants don't box at runtime
+		}
+	}
+	sig, ok := p.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // spread: the slice passes through, no per-element box
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		tv, ok := p.Info.Types[arg]
+		if !ok || tv.Value != nil || isNilIdent(p.Info, arg) {
+			continue // constants and nil don't heap-box
+		}
+		at := tv.Type
+		if at == nil {
+			continue
+		}
+		switch at.Underlying().(type) {
+		case *types.Interface, *types.Pointer:
+			continue // already boxed, or a pointer (boxes without copying)
+		}
+		p.Reportf(arg.Pos(), "passing concrete %s to interface parameter boxes (heap-allocates) in hot path; pass a pointer or pre-boxed value", at.String())
 	}
 }
 

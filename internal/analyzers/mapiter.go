@@ -1,10 +1,12 @@
 package analyzers
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
 	"regexp"
+	"strconv"
 )
 
 // mapiter flags `range` over a map inside report/export/trace-emitting
@@ -69,9 +71,192 @@ func (p *Pass) checkMapRanges(fd *ast.FuncDecl) {
 		if p.isKeyCollectLoop(rs) || p.isOrderInvariantBody(rs.Body.List) {
 			return true
 		}
-		p.Reportf(rs.Pos(), "map iteration order is randomized; %s emits output, so collect+sort the keys (or restructure) before walking this map", fd.Name.Name)
+		msg := "map iteration order is randomized; %s emits output, so collect+sort the keys (or restructure) before walking this map"
+		if fix, ok := p.sortedWalkFix(fd, rs); ok {
+			p.diags = append(p.diags, Diagnostic{
+				Analyzer: p.Analyzer.Name,
+				Pos:      p.Fset.Position(rs.Pos()),
+				Message:  fmt.Sprintf(msg, fd.Name.Name),
+				Fixes:    []Fix{fix},
+			})
+		} else {
+			p.Reportf(rs.Pos(), msg, fd.Name.Name)
+		}
 		return true
 	})
+}
+
+// sortedWalkFix builds the mechanical collect-then-sort rewrite for a
+// key-only map walk whose key type is plain int or string:
+//
+//	for k := range m { body }
+//
+// becomes
+//
+//	keys := make([]int, 0, len(m))
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort.Ints(keys)
+//	for _, k := range keys { body }
+//
+// plus a "sort" import when the file lacks one. Walks that read values, use
+// exotic key types, or mutate the map mid-walk (collecting keys first would
+// change which keys are visited) get the diagnostic without a fix.
+func (p *Pass) sortedWalkFix(fd *ast.FuncDecl, rs *ast.RangeStmt) (Fix, bool) {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || rs.Value != nil {
+		return Fix{}, false
+	}
+	kt := p.Info.TypeOf(rs.X)
+	if kt == nil {
+		return Fix{}, false
+	}
+	mt, ok := kt.Underlying().(*types.Map)
+	if !ok {
+		return Fix{}, false
+	}
+	var sortFn, elemType string
+	if b, ok := mt.Key().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int:
+			sortFn, elemType = "sort.Ints", "int"
+		case types.String:
+			sortFn, elemType = "sort.Strings", "string"
+		}
+	}
+	if sortFn == "" {
+		return Fix{}, false
+	}
+	mapText := p.SourceText(rs.X.Pos(), rs.X.End())
+	bodyText := p.SourceText(rs.Body.Pos(), rs.Body.End())
+	if mapText == "" || bodyText == "" || p.mutatesMap(rs.Body, mapText) {
+		return Fix{}, false
+	}
+	keysVar := p.freshName(fd.Body, "keys")
+	indent := p.lineIndent(rs.Pos())
+	nl := "\n" + indent
+	newText := keysVar + " := make([]" + elemType + ", 0, len(" + mapText + "))" + nl +
+		"for " + key.Name + " := range " + mapText + " {" + nl +
+		"\t" + keysVar + " = append(" + keysVar + ", " + key.Name + ")" + nl +
+		"}" + nl +
+		sortFn + "(" + keysVar + ")" + nl +
+		"for _, " + key.Name + " := range " + keysVar + " " + bodyText
+	fix := Fix{
+		Message: "collect the keys, sort, and walk the sorted slice",
+		Edits: []TextEdit{{
+			Pos:     p.Fset.Position(rs.Pos()),
+			End:     p.Fset.Position(rs.End()),
+			NewText: newText,
+		}},
+	}
+	if edit, ok := p.importEdit(rs.Pos(), "sort"); ok {
+		fix.Edits = append(fix.Edits, edit)
+	} else if !p.fileImports(rs.Pos(), "sort") {
+		return Fix{}, false
+	}
+	return fix, true
+}
+
+// mutatesMap conservatively detects writes to the ranged map inside the
+// body: delete(m, ...) or an assignment through m[...]. Text comparison on
+// the rendered expression is enough at the precision the fix needs.
+func (p *Pass) mutatesMap(body *ast.BlockStmt, mapText string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "delete" && len(v.Args) > 0 {
+				if types.ExprString(v.Args[0]) == mapText {
+					found = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				if ix, ok := lhs.(*ast.IndexExpr); ok && types.ExprString(ix.X) == mapText {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// freshName returns base if no identifier in body spells it, else base2,
+// base3, ...
+func (p *Pass) freshName(body *ast.BlockStmt, base string) string {
+	used := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			used[id.Name] = true
+		}
+		return true
+	})
+	if !used[base] {
+		return base
+	}
+	for i := 2; ; i++ {
+		cand := fmt.Sprintf("%s%d", base, i)
+		if !used[cand] {
+			return cand
+		}
+	}
+}
+
+// fileAt returns the *ast.File containing pos.
+func (p *Pass) fileAt(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// fileImports reports whether the file containing pos already imports path.
+func (p *Pass) fileImports(pos token.Pos, path string) bool {
+	f := p.fileAt(pos)
+	if f == nil {
+		return false
+	}
+	for _, imp := range f.Imports {
+		if imp.Path.Value == `"`+path+`"` {
+			return true
+		}
+	}
+	return false
+}
+
+// importEdit builds the edit adding `"path"` to the file's grouped import
+// block, or reports false when the file already imports it or has no
+// grouped block to extend.
+func (p *Pass) importEdit(pos token.Pos, path string) (TextEdit, bool) {
+	f := p.fileAt(pos)
+	if f == nil || p.fileImports(pos, path) {
+		return TextEdit{}, false
+	}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT || !gd.Lparen.IsValid() {
+			continue
+		}
+		// Insert in sorted position within the group so the result stays
+		// gofmt-clean (single-group imports are sorted by path).
+		for _, spec := range gd.Specs {
+			is, ok := spec.(*ast.ImportSpec)
+			if !ok {
+				continue
+			}
+			if existing, err := strconv.Unquote(is.Path.Value); err == nil && existing > path {
+				at := p.Fset.Position(is.Pos())
+				return TextEdit{Pos: at, End: at, NewText: "\"" + path + "\"\n\t"}, true
+			}
+		}
+		at := p.Fset.Position(gd.Rparen)
+		return TextEdit{Pos: at, End: at, NewText: "\t\"" + path + "\"\n"}, true
+	}
+	return TextEdit{}, false
 }
 
 // isKeyCollectLoop recognizes `for k := range m { keys = append(keys, k) }`

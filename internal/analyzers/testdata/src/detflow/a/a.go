@@ -1,0 +1,137 @@
+// Package a exercises detflow: map-iteration-ordered, pointer-derived, and
+// unsafe-derived values must not reach emit-shaped sinks or stats.Counters
+// keys.
+package a
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"unsafe"
+
+	"flatflash/internal/stats"
+)
+
+// --- legal shapes ---
+
+// ExportSorted launders the key order through sort before returning.
+func ExportSorted(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// ReportViaSortSlice: sort.Slice launders too.
+func ReportViaSortSlice(m map[string]int) string {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	return strings.Join(names, ",")
+}
+
+// ReportTotal: integer accumulation commutes, so the order taint on v does
+// not reach the sum.
+func ReportTotal(m map[int]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// ReportIndexedWalk: iterating the SORTED keys and indexing the map is the
+// blessed shape — m[k] with deterministic k order is deterministic.
+func ReportIndexedWalk(m map[int]int) string {
+	var sb strings.Builder
+	for _, k := range ExportSorted(m) {
+		fmt.Fprintf(&sb, "%d=%d\n", k, m[k])
+	}
+	return sb.String()
+}
+
+// collectKeys is not emit-shaped: helpers may hand unsorted keys to a
+// caller that sorts before emitting.
+func collectKeys(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// --- violations ---
+
+// ExportKeys returns keys in map-iteration order from an emit-shaped
+// function.
+func ExportKeys(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys // want "value derived from map iteration order is returned from an emit-shaped function"
+}
+
+// ExportLaundered: assigning to a second variable does not clean the order.
+func ExportLaundered(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	other := keys
+	return other // want "value derived from map iteration order is returned from an emit-shaped function"
+}
+
+// DumpValues prints values in map order.
+func DumpValues(m map[int]string) {
+	for _, v := range m {
+		fmt.Println(v) // want "value derived from map iteration order reaches fmt\.Println"
+	}
+}
+
+// RenderNames writes map-ordered strings into the builder.
+func RenderNames(m map[string]int) string {
+	var sb strings.Builder
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	for _, n := range names {
+		sb.WriteString(n) // want "value derived from map iteration order reaches WriteString"
+	}
+	return sb.String()
+}
+
+// ReportFloatTotal: float addition does not associate, so order taint
+// propagates through the accumulation.
+func ReportFloatTotal(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum // want "value derived from map iteration order is returned from an emit-shaped function"
+}
+
+// describePointer formats an address: nondeterministic anywhere, emit-shaped
+// or not.
+func describePointer(p *int) string {
+	return fmt.Sprintf("%p", p) // want "formatting a pointer"
+}
+
+// ExportHandle leaks a pointer identity through uintptr into a report.
+func ExportHandle(p *int) uint64 {
+	id := uintptr(unsafe.Pointer(p))
+	return uint64(id) // want "value derived from pointer identity \(uintptr conversion\) is returned from an emit-shaped function"
+}
+
+// bumpCounter keys a counter off map-iteration order: first-use order in
+// the report becomes nondeterministic, no matter who calls this.
+func bumpCounter(c *stats.Counters, m map[string]int) {
+	for name := range m {
+		c.Add(name, 1) // want "stats\.Counters key derived from map iteration order"
+	}
+}

@@ -1,0 +1,17 @@
+package a
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderCounts walks the map directly inside an emit-shaped function; the
+// fix rewrites it to collect the keys, sort.Strings them, and walk the
+// sorted slice (adding the "sort" import).
+func RenderCounts(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m {
+		fmt.Fprintf(&sb, "%s=%d\n", k, m[k])
+	}
+	return sb.String()
+}

@@ -1,0 +1,81 @@
+// File b exercises the hotalloc v2 checks: defer records, bound method
+// values, interface boxing at call sites, and the interprocedural closure
+// rule (//flatflash:hotpath may only call hotpath or coldpath same-package
+// functions).
+package a
+
+type gauge struct {
+	val int64
+}
+
+// bump is in the gate, so hot bodies may defer it or call it directly; the
+// method-VALUE binding still allocates regardless.
+//
+//flatflash:hotpath
+func (g *gauge) bump() { g.val++ }
+
+func (g *gauge) set(v int64) { g.val = v }
+func (g *gauge) read() int64 { return g.val }
+
+// sink is an acknowledged slow-path exit: hot callers may call it, and the
+// boxing check still inspects the arguments they pass.
+//
+//flatflash:coldpath
+func sink(v interface{}) { _ = v }
+
+// hotHelper extends the gate: calls to it from hot bodies are legal.
+//
+//flatflash:hotpath
+func hotHelper(g *gauge) int64 { return g.val }
+
+// plainHelper is unannotated: hot callers must not reach it silently.
+func plainHelper(g *gauge) int64 { return g.val }
+
+// hotDefer: a defer allocates its call record on every invocation.
+//
+//flatflash:hotpath
+func hotDefer(g *gauge) {
+	defer g.bump() // want "defer in hot path allocates a deferred-call record"
+	g.val++
+}
+
+// hotMethodValue: binding g.bump to its receiver allocates the pair; the
+// direct call on the next line does not.
+//
+//flatflash:hotpath
+func hotMethodValue(g *gauge) func() {
+	f := g.bump // want "bound method value g\.bump allocates \(receiver capture\)"
+	g.bump()
+	return f
+}
+
+// hotBoxing: a concrete non-pointer argument to an interface parameter
+// heap-boxes; pointers, nil, and constants do not.
+//
+//flatflash:hotpath
+func hotBoxing(g *gauge, v int64) {
+	sink(v) // want "passing concrete int64 to interface parameter boxes"
+	sink(&v)
+	sink(nil)
+	sink(42)
+}
+
+// hotClosureRule: the gate is interprocedural — annotated callees pass,
+// unannotated same-package callees are flagged.
+//
+//flatflash:hotpath
+func hotClosureRule(g *gauge) int64 {
+	a := hotHelper(g)
+	sink(nil)
+	b := plainHelper(g)     // want "hot path calls plainHelper, which is neither //flatflash:hotpath nor //flatflash:coldpath"
+	g.set(a)                // want "hot path calls set, which is neither //flatflash:hotpath nor //flatflash:coldpath"
+	return a + b + g.read() // want "hot path calls read, which is neither //flatflash:hotpath nor //flatflash:coldpath"
+}
+
+// coldUsesEverything: the same constructs outside the gate are out of scope.
+func coldUsesEverything(g *gauge, v int64) func() {
+	defer g.bump()
+	sink(v)
+	_ = plainHelper(g)
+	return g.bump
+}

@@ -1,0 +1,18 @@
+// Package stats is a fixture stub of flatflash/internal/stats: just enough
+// of the Counters surface for detflow's counter-key sink fixtures.
+package stats
+
+// Handle is a pre-resolved counter cell.
+type Handle = *int64
+
+// Counters is an ordered set of named int64 counters.
+type Counters struct{ vals map[string]*int64 }
+
+// Add increments counter name by delta, creating it if needed.
+func (c *Counters) Add(name string, delta int64) {}
+
+// Get returns the current value of name.
+func (c *Counters) Get(name string) int64 { return 0 }
+
+// Handle returns the pre-resolved cell for name.
+func (c *Counters) Handle(name string) Handle { return nil }

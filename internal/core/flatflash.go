@@ -223,6 +223,8 @@ func (s *FlatFlash) BreakRecoveryForTesting(on bool) { s.brokenRecovery = on }
 // tenant's time): the hierarchy crashes mid-operation, at cache-line
 // granularity — the atomicity unit of posted MMIO writes — rather than only
 // between ops.
+//
+//flatflash:hotpath
 func (s *FlatFlash) checkCrash(now sim.Time) error {
 	if !s.faults.CrashDue(now) {
 		return nil
@@ -630,6 +632,8 @@ func (s *FlatFlash) countHit(hit bool) {
 // tenant t, filling from flash on a miss (and writing back a dirty victim to
 // flash, off the host's critical path). It returns the entry and the time
 // the data is available.
+//
+//flatflash:hotpath
 func (s *FlatFlash) ensureCachedFor(t *Tenant, now sim.Time, lpn uint32) (*ssdcache.Entry, sim.Time, bool) {
 	if e, ok := s.cach.Lookup(lpn); ok {
 		if s.probe != nil {
@@ -672,6 +676,8 @@ func (s *FlatFlash) ensureCachedFor(t *Tenant, now sim.Time, lpn uint32) (*ssdca
 // maybePromote runs Algorithm 1's UPDATE for tenant t's access and starts an
 // off-critical-path promotion when the policy fires (§3.3, §3.4). Pages
 // with the Persist bit bypass the policy entirely (§3.5).
+//
+//flatflash:coldpath
 func (s *FlatFlash) maybePromote(t *Tenant, now sim.Time, vpn uint64, lpn uint32, pte *vm.PTE, e *ssdcache.Entry) {
 	if pte.Persist || s.pol == nil {
 		return
@@ -821,6 +827,8 @@ func (s *FlatFlash) evictFrame(frame int, now sim.Time) {
 // trackFrame records frame as held by ref's tenant, keeping the arbiter's
 // per-tenant holdings in step. Re-tracking the same frame (promotion start
 // then completion) is idempotent.
+//
+//flatflash:hotpath
 func (s *FlatFlash) trackFrame(frame int, ref pageRef) {
 	if old, held := s.vpnOfFrm[frame]; held && s.arb != nil {
 		s.arb.NoteFrame(old.t.id, -1)
@@ -870,6 +878,8 @@ func (s *FlatFlash) writeBackToCache(now sim.Time, lpn uint32, data []byte, owne
 // at the DRAM frame and the TLB entry is refreshed. The PTE/TLB update cost
 // is charged off the critical path (counted, not added to the actor clock),
 // as §3.3 argues it is negligible next to SSD access.
+//
+//flatflash:hotpath
 func (s *FlatFlash) completePromotions(now sim.Time) {
 	for _, c := range s.plb.Expired(now) {
 		ref, ok := s.vpnOfLPN[c.LPN]

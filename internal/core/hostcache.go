@@ -42,6 +42,8 @@ func newHostLineCache(lines, lineSize int) *hostLineCache {
 }
 
 // lookup returns the cached line data for (lpn, line), if present.
+//
+//flatflash:hotpath
 func (c *hostLineCache) lookup(lpn uint32, line int) ([]byte, bool) {
 	e, ok := c.elem[hostLineKey{lpn, line}]
 	if !ok {
@@ -51,7 +53,11 @@ func (c *hostLineCache) lookup(lpn uint32, line int) ([]byte, bool) {
 	return e.Value.(*hostLineEntry).data, true
 }
 
-// fill installs line data after an MMIO read (copying it).
+// fill installs line data after an MMIO read (copying it). It allocates
+// the line buffer on a cold fill, which rides an MMIO read — an accepted,
+// orders-of-magnitude-larger cost.
+//
+//flatflash:coldpath
 func (c *hostLineCache) fill(lpn uint32, line int, data []byte) {
 	key := hostLineKey{lpn, line}
 	if e, ok := c.elem[key]; ok {
@@ -72,6 +78,8 @@ func (c *hostLineCache) fill(lpn uint32, line int, data []byte) {
 
 // update applies a store to a cached line if present (write-through keeps
 // the SSD authoritative; the cached copy just stays coherent).
+//
+//flatflash:hotpath
 func (c *hostLineCache) update(lpn uint32, line, off int, data []byte) {
 	if e, ok := c.elem[hostLineKey{lpn, line}]; ok {
 		copy(e.Value.(*hostLineEntry).data[off:], data)

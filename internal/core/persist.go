@@ -155,6 +155,8 @@ func (s *FlatFlash) Drain() {
 // Crash implements Hierarchy: power failure. Host DRAM and in-flight
 // promotions vanish; the battery-backed SSD-Cache and flash survive. With
 // BatteryBacked=false (ablation) dirty cache contents are lost too.
+//
+//flatflash:coldpath
 func (s *FlatFlash) Crash() {
 	if s.crashed {
 		return

@@ -146,29 +146,42 @@ func (f *FTL) flushWriteBacks(now sim.Time) (sim.Time, error) {
 	if len(f.wbPending) == 0 {
 		return now, nil
 	}
-	pipelined := f.cfg.MapPipeline
-	if pipelined && f.attSus != nil {
-		f.attSus.Suspend()
+	if f.cfg.MapPipeline {
+		return f.flushWriteBacksPipelined(now)
 	}
 	t := now
 	for _, tvpn := range f.wbPending {
 		done, err := f.persistTransPage(t, tvpn)
 		if err != nil {
-			if pipelined && f.attSus != nil {
-				f.attSus.Resume()
-			}
 			return now, err
 		}
 		t = done
 	}
-	if pipelined && f.attSus != nil {
-		f.attSus.Resume()
+	f.wbPending = f.wbPending[:0]
+	return t, nil
+}
+
+// flushWriteBacksPipelined is the MapPipeline arm of flushWriteBacks: the
+// suspension is held across the whole batch so every program charges to the
+// background account, and the host-visible time never advances. The defer
+// keeps Resume paired with Suspend on every path — including the error
+// return mid-batch, which previously needed a hand-written Resume on each
+// early exit.
+func (f *FTL) flushWriteBacksPipelined(now sim.Time) (sim.Time, error) {
+	if f.attSus != nil {
+		f.attSus.Suspend()
+		defer f.attSus.Resume()
+	}
+	t := now
+	for _, tvpn := range f.wbPending {
+		done, err := f.persistTransPage(t, tvpn)
+		if err != nil {
+			return now, err
+		}
+		t = done
 	}
 	f.wbPending = f.wbPending[:0]
-	if pipelined {
-		return now, nil
-	}
-	return t, nil
+	return now, nil
 }
 
 // encodeTrans serializes translation page tvpn's slice of the L2P map into

@@ -20,9 +20,58 @@ go build ./...
 
 echo "== flatflash-lint =="
 # Static enforcement of the simulator's determinism, virtual-time, and
-# hot-path invariants (see DESIGN.md): any diagnostic fails the gate.
+# hot-path invariants (see DESIGN.md): any diagnostic fails the gate. The
+# JSON output is re-emitted in file:line form (annotation-friendly) with a
+# per-analyzer count summary, so a failing run names the invariant that
+# broke, not just a wall of text.
 go build -o /tmp/flatflash-lint ./cmd/flatflash-lint
-/tmp/flatflash-lint ./...
+/tmp/flatflash-lint -q -json ./... > /tmp/lint.json || true
+python3 - /tmp/lint.json <<'EOF'
+import json, sys, collections
+diags = json.load(open(sys.argv[1]))
+counts = collections.Counter(d["analyzer"] for d in diags)
+for d in diags:
+    print("%s:%d: %s: %s" % (d["file"], d["line"], d["analyzer"], d["message"]))
+for name, n in sorted(counts.items()):
+    print("  %-12s %d" % (name, n), file=sys.stderr)
+sys.exit(1 if diags else 0)
+EOF
+
+echo "== flatflash-lint mutant smoke =="
+# The analyzers themselves are load-bearing: prove the attribwindow CFG
+# analysis still catches a real regression by deleting one attrib End call
+# from a scratch copy of the tree and requiring a diagnostic. A lint suite
+# that stays green on a mutated tree is a broken gate, not a clean one.
+mutant_dir=$(mktemp -d)
+trap 'rm -rf "$mutant_dir"' EXIT
+tar --exclude=.git -cf - . | (cd "$mutant_dir" && tar -xf -)
+python3 - "$mutant_dir/internal/core/persist.go" <<'EOF'
+import sys
+path = sys.argv[1]
+src = open(path).read()
+lines = src.splitlines(keepends=True)
+out, dropped = [], False
+for l in lines:
+    if not dropped and "s.att.End(" in l:
+        dropped = True
+        continue
+    out.append(l)
+if not dropped:
+    sys.exit("mutant smoke: no s.att.End( line found in persist.go to delete")
+open(path, "w").writelines(out)
+EOF
+if (cd "$mutant_dir" && /tmp/flatflash-lint -q -only attribwindow ./internal/core/ > /tmp/mutant.txt 2>&1); then
+    echo "mutant smoke FAILED: attribwindow missed a deleted End call"
+    exit 1
+fi
+grep -q "attribwindow" /tmp/mutant.txt || {
+    echo "mutant smoke FAILED: lint failed for a reason other than attribwindow:"
+    cat /tmp/mutant.txt
+    exit 1
+}
+rm -rf "$mutant_dir"
+trap - EXIT
+echo "mutant smoke ok (attribwindow caught the deleted End)"
 
 echo "== go test -race =="
 go test -race ./...
@@ -182,6 +231,9 @@ cover_floor() {
 }
 cover_floor ./internal/fault 80
 cover_floor ./internal/analyzers 80
+# The CFG builder underlies the flow-sensitive analyzers; an unmodeled edge
+# there is a false negative in every one of them.
+cover_floor ./internal/analyzers/cfg 80
 # The observability layer (attribution engine, flight recorder, shared CLI
 # flags) is how regressions elsewhere get diagnosed, so it keeps a floor too.
 cover_floor ./internal/telemetry 80
